@@ -1,0 +1,100 @@
+// Command graphgen generates the synthetic benchmark graphs (or converts
+// between formats) for use with smqbench and the examples.
+//
+// Usage:
+//
+//	graphgen -type road -rows 256 -cols 128 -o usa.bin
+//	graphgen -type rmat -rmatscale 16 -ef 16 -o twitter.bin
+//	graphgen -in usa.bin -o usa.gr -outformat dimacs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		typ       = flag.String("type", "road", "generator: road, rmat, uniform")
+		rows      = flag.Int("rows", 128, "road grid rows")
+		cols      = flag.Int("cols", 128, "road grid cols")
+		rmatScale = flag.Int("rmatscale", 14, "RMAT: log2 of vertex count")
+		ef        = flag.Int("ef", 16, "RMAT: edges per vertex")
+		n         = flag.Int("n", 10000, "uniform: vertex count")
+		m         = flag.Int("m", 100000, "uniform: edge count")
+		maxW      = flag.Uint("maxw", 255, "uniform: maximum edge weight")
+		seed      = flag.Uint64("seed", 42, "generator seed")
+		in        = flag.String("in", "", "read an existing graph (bin or dimacs by extension) instead of generating")
+		out       = flag.String("o", "", "output path (required)")
+		outFormat = flag.String("outformat", "bin", "output format: bin or dimacs")
+		stat      = flag.Bool("stat", true, "print graph statistics to stderr")
+	)
+	flag.Parse()
+
+	if *out == "" {
+		fatal(fmt.Errorf("-o is required"))
+	}
+
+	var g *graph.CSR
+	var err error
+	if *in != "" {
+		g, err = readGraph(*in)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		switch *typ {
+		case "road":
+			g = graph.GenerateRoadGrid(*rows, *cols, *seed)
+		case "rmat":
+			g = graph.GenerateRMAT(*rmatScale, *ef, graph.DefaultRMATParams(), *seed)
+		case "uniform":
+			g = graph.GenerateUniformRandom(*n, *m, uint32(*maxW), *seed)
+		default:
+			fatal(fmt.Errorf("unknown generator %q", *typ))
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	switch *outFormat {
+	case "bin":
+		err = graph.WriteBinary(f, g)
+	case "dimacs":
+		err = graph.WriteDIMACS(f, g)
+	default:
+		err = fmt.Errorf("unknown output format %q", *outFormat)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stat {
+		s := g.Stat(*out)
+		fmt.Fprintf(os.Stderr, "%s: |V|=%d |E|=%d maxdeg=%d avgdeg=%.2f coords=%v\n",
+			s.Name, s.N, s.M, s.MaxDeg, s.AvgDeg, s.HasCoords)
+	}
+}
+
+func readGraph(path string) (*graph.CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if len(path) > 3 && path[len(path)-3:] == ".gr" {
+		return graph.ReadDIMACS(f)
+	}
+	return graph.ReadBinary(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

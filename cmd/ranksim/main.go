@@ -1,0 +1,77 @@
+// Command ranksim runs the paper's §3 analytical model: the sequential
+// SMQ rank process, its continuous balls-into-bins coupling, and the
+// classic (1+β)-choice process, printing rank statistics next to
+// Theorem 1's bound.
+//
+// Usage:
+//
+//	ranksim -process discrete -queues 16 -psteal 0.125 -batch 4
+//	ranksim -process continuous -queues 64 -psteal 0.25
+//	ranksim -process beta -queues 64 -beta 0.125
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ranksim"
+)
+
+func main() {
+	var (
+		process  = flag.String("process", "discrete", "discrete, continuous, or beta")
+		queues   = flag.Int("queues", 16, "number of queues / bins (n)")
+		elements = flag.Int("elements", 200000, "initial insertions (discrete)")
+		steps    = flag.Int("steps", 0, "removal steps (0 = auto)")
+		psteal   = flag.Float64("psteal", 0.125, "stealing probability")
+		beta     = flag.Float64("beta", 0.25, "beta for the (1+β) process")
+		batch    = flag.Int("batch", 1, "batch size B")
+		gamma    = flag.Float64("gamma", 0, "scheduler unfairness γ in [0, 1/2]")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch *process {
+	case "discrete":
+		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+			Queues: *queues, Elements: *elements, Steps: *steps,
+			StealProb: *psteal, Batch: *batch, Gamma: *gamma, Seed: *seed,
+		})
+		fmt.Printf("discrete SMQ process: n=%d B=%d psteal=%g gamma=%g\n",
+			*queues, *batch, *psteal, *gamma)
+		fmt.Printf("  removed:           %d elements\n", res.Removed)
+		fmt.Printf("  mean removed rank: %.2f\n", res.MeanRemovedRank)
+		fmt.Printf("  max removed rank:  %d\n", res.MaxRemovedRank)
+		fmt.Printf("  Theorem 1 scaling: %.2f (up to constants)\n",
+			ranksim.TheoremBound(*queues, *batch, *psteal, *gamma))
+		fmt.Println("  step  avgTopRank  maxTopRank")
+		for _, s := range res.Samples {
+			fmt.Printf("  %-6d %-11.2f %d\n", s.Step, s.AvgTopRank, s.MaxTopRank)
+		}
+	case "continuous":
+		res := ranksim.RunContinuousSMQ(ranksim.ContinuousConfig{
+			Bins: *queues, Steps: *steps, StealProb: *psteal,
+			Batch: *batch, Gamma: *gamma, Seed: *seed,
+		})
+		printContinuous("continuous SMQ coupling", res)
+	case "beta":
+		res := ranksim.RunOnePlusBeta(ranksim.ContinuousConfig{
+			Bins: *queues, Steps: *steps, Beta: *beta, Batch: *batch, Seed: *seed,
+		})
+		printContinuous(fmt.Sprintf("(1+β) process, β=%g", *beta), res)
+	default:
+		fmt.Fprintf(os.Stderr, "ranksim: unknown process %q\n", *process)
+		os.Exit(2)
+	}
+}
+
+func printContinuous(name string, res ranksim.ContinuousResult) {
+	fmt.Printf("%s\n", name)
+	fmt.Printf("  stationary mean top rank (avg): %.2f\n", res.MeanTopAvg)
+	fmt.Printf("  stationary mean top rank (max): %.2f\n", res.MeanTopMax)
+	fmt.Println("  step  avgTopRank  maxTopRank")
+	for _, s := range res.Samples {
+		fmt.Printf("  %-6d %-11.2f %d\n", s.Step, s.AvgTopRank, s.MaxTopRank)
+	}
+}

@@ -1,0 +1,111 @@
+// Command smqbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	smqbench -list
+//	smqbench -exp fig2 -scale 1 -threads 1,2,4 -reps 3
+//	smqbench -exp all -format tsv > results.tsv
+//
+// Every experiment prints the same row/series structure as the paper
+// artifact it reproduces (speedups and work increases per cell); see
+// DESIGN.md §4 for the experiment ↔ artifact mapping and EXPERIMENTS.md
+// for recorded paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id to run (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.Int("scale", 1, "graph scale factor (1 = laptop-small)")
+		threads  = flag.String("threads", "1,2,4", "comma-separated thread counts for comparison sweeps")
+		maxTh    = flag.Int("maxthreads", 0, "thread count for ablation grids (default: last of -threads)")
+		reps     = flag.Int("reps", 1, "repetitions per measurement (fastest kept)")
+		validate = flag.Bool("validate", false, "verify every run against sequential baselines")
+		format   = flag.String("format", "text", "output format: text or tsv")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments (smqbench -exp <id>):")
+		for _, e := range harness.Registry() {
+			fmt.Printf("  %-8s %-40s %s\n", e.ID, e.Paper, e.Desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ths, err := parseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := harness.RunConfig{
+		Scale:      *scale,
+		Threads:    ths,
+		MaxThreads: *maxTh,
+		Reps:       *reps,
+		Validate:   *validate,
+	}
+
+	var exps []harness.Experiment
+	if *exp == "all" {
+		exps = harness.Registry()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := harness.Find(strings.TrimSpace(id))
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q (try -list)", id))
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Paper)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("experiment %s: %w", e.ID, err))
+		}
+		if err := harness.WriteTables(os.Stdout, tables, *format); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "done %s in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thread counts in %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smqbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseThreads(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"1,2,4", []int{1, 2, 4}, false},
+		{"8", []int{8}, false},
+		{" 1 , 2 ", []int{1, 2}, false},
+		{"", nil, true},
+		{"0", nil, true},
+		{"-3", nil, true},
+		{"two", nil, true},
+		{",,", nil, true},
+	}
+	for _, tc := range cases {
+		got, err := parseThreads(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("%q: expected error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: got %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q: got %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}

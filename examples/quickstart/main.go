@@ -1,0 +1,85 @@
+// Quickstart: create a Stealing Multi-Queue, seed it with prioritized
+// jobs, and drain it with several workers. The output shows the two
+// defining behaviours of the SMQ: work spreads from the seeding worker to
+// the others by batch stealing, and consumption follows priority order
+// closely — but not exactly, because bounded relaxation is what buys the
+// scalability.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	smq "repro"
+)
+
+func main() {
+	const workers = 4
+	const jobs = 20000
+
+	s := smq.NewStealingMQ[int](smq.SMQConfig{Workers: workers})
+
+	// Seed every job at worker 0: inserts are always local in the SMQ
+	// (queue affinity), so the other workers will obtain work by
+	// stealing batches whose tops beat their own queues.
+	seeder := s.Worker(0)
+	for j := 0; j < jobs; j++ {
+		seeder.Push(uint64(j), j)
+	}
+
+	// Pending tracks in-flight jobs: with a relaxed scheduler a failed
+	// Pop is NOT proof of global emptiness, so workers only exit when
+	// the counter reaches zero.
+	var pending smq.Pending
+	pending.Inc(jobs)
+
+	order := make([]uint64, jobs)
+	perWorker := make([]int, workers)
+	var slot atomic.Int64
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := s.Worker(i)
+			var b smq.Backoff
+			for !pending.Done() {
+				p, _, ok := w.Pop()
+				if !ok {
+					b.Wait()
+					continue
+				}
+				b.Reset()
+				order[slot.Add(1)-1] = p
+				perWorker[i]++
+				pending.Dec()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// How relaxed was the consumption order?
+	sumDisplacement := 0.0
+	maxDisplacement := 0
+	for i, p := range order {
+		d := int(p) - i
+		if d < 0 {
+			d = -d
+		}
+		sumDisplacement += float64(d)
+		if d > maxDisplacement {
+			maxDisplacement = d
+		}
+	}
+	st := s.Stats()
+	fmt.Printf("consumed %d jobs with %d workers: %v\n", len(order), workers, perWorker)
+	fmt.Printf("steals: %d batches (%d tasks), %d failed probes\n",
+		st.Steals, st.StolenTask, st.StealFails)
+	fmt.Printf("mean rank displacement: %.1f positions (max %d of %d)\n",
+		sumDisplacement/float64(len(order)), maxDisplacement, jobs)
+	fmt.Println("\nbounded displacement with near-linear task spreading is the SMQ trade-off:")
+	fmt.Println("strict priority order is relaxed slightly in exchange for local, almost")
+	fmt.Println("synchronization-free queue access (see Theorem 1 in the paper).")
+}

@@ -1,0 +1,100 @@
+// Package algos implements the paper's benchmark workloads (§5) as
+// scheduler-driven parallel algorithms — SSSP, BFS, A*, Boruvka MST — and
+// a residual PageRank extension, plus the sequential baselines used for
+// speedup and wasted-work accounting.
+//
+// All parallel algorithms follow the same shape: tasks carry a priority
+// (lower = sooner) and a vertex payload; workers loop popping tasks from
+// a relaxed scheduler, perform the algorithm step, and push follow-on
+// tasks. Because the schedulers are relaxed, a popped task may be stale —
+// superseded by a better value written concurrently. Stale pops are
+// counted as wasted work, which is exactly the metric the paper uses to
+// explain scheduler quality differences ("work increase").
+//
+// Termination uses a global in-flight counter (sched.Pending): a Pop
+// failure is never treated as completion on its own, because tasks may be
+// buried in other workers' local buffers.
+package algos
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Result captures a parallel run's cost accounting.
+type Result struct {
+	// Tasks is the number of tasks processed (useful + wasted).
+	Tasks uint64
+	// Wasted is the number of stale tasks (popped but superseded).
+	Wasted uint64
+	// Duration is the wall-clock time of the parallel phase.
+	Duration time.Duration
+	// Sched holds the scheduler's own counters for the run.
+	Sched sched.Stats
+}
+
+// WorkIncrease is the paper's wasted-work metric: tasks executed divided
+// by the baseline task count (typically the sequential algorithm's).
+func (r Result) WorkIncrease(baselineTasks uint64) float64 {
+	if baselineTasks == 0 {
+		return 0
+	}
+	return float64(r.Tasks) / float64(baselineTasks)
+}
+
+// workerTally holds per-worker task counts, padded against false sharing.
+type workerTally struct {
+	tasks  uint64
+	wasted uint64
+	_      [48]byte
+}
+
+// drive runs one goroutine per scheduler worker. Each pops tasks and
+// invokes process until pending reaches zero; process performs the
+// algorithm step and reports whether the task was stale. All pushes made
+// inside process must increment pending first; drive decrements once per
+// processed task.
+func drive[T any](
+	s sched.Scheduler[T],
+	pending *sched.Pending,
+	process func(wid int, w sched.Worker[T], p uint64, v T) (stale bool),
+) (tasks, wasted uint64, elapsed time.Duration) {
+	n := s.Workers()
+	tallies := make([]workerTally, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wid := 0; wid < n; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := s.Worker(wid)
+			tally := &tallies[wid]
+			var b sched.Backoff
+			for {
+				p, v, ok := w.Pop()
+				if !ok {
+					if pending.Done() {
+						return
+					}
+					b.Wait()
+					continue
+				}
+				b.Reset()
+				tally.tasks++
+				if process(wid, w, p, v) {
+					tally.wasted++
+				}
+				pending.Dec()
+			}
+		}(wid)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	for i := range tallies {
+		tasks += tallies[i].tasks
+		wasted += tallies[i].wasted
+	}
+	return tasks, wasted, elapsed
+}

@@ -1,0 +1,69 @@
+package algos
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// AStar computes the shortest distance from src to target guided by the
+// admissible coordinate heuristic (the paper's A* benchmark, which uses
+// the equirectangular approximation on road graphs). It returns
+// Unreachable when no path exists.
+//
+// Task priorities are f = g + h values. Two pruning rules bound the
+// wasted work: a popped task whose f exceeds the vertex's current g + h
+// is stale, and any task whose f is not below the best known distance to
+// the target cannot improve the answer.
+func AStar(g *graph.CSR, src, target uint32, s sched.Scheduler[uint32]) (uint64, Result) {
+	dist := make([]atomic.Uint64, g.N)
+	for i := range dist {
+		dist[i].Store(Unreachable)
+	}
+	dist[src].Store(0)
+	var best atomic.Uint64 // best known complete path weight
+	best.Store(Unreachable)
+
+	var pending sched.Pending
+	pending.Inc(1)
+	s.Worker(0).Push(g.Heuristic(src, target), src)
+
+	tasks, wasted, elapsed := drive(s, &pending,
+		func(_ int, w sched.Worker[uint32], f uint64, u uint32) bool {
+			gu := dist[u].Load()
+			if gu == Unreachable {
+				return true
+			}
+			hu := g.Heuristic(u, target)
+			if f > gu+hu {
+				return true // stale: u was improved after this push
+			}
+			if gu+hu >= best.Load() {
+				return true // cannot beat the best complete path
+			}
+			if u == target {
+				relaxMin(&best, gu)
+				return false
+			}
+			ts, ws := g.Neighbors(u)
+			for i, v := range ts {
+				nd := gu + uint64(ws[i])
+				if nd >= best.Load() {
+					continue
+				}
+				if relaxMin(&dist[v], nd) {
+					fv := nd + g.Heuristic(v, target)
+					if fv < best.Load() || v == target {
+						pending.Inc(1)
+						w.Push(fv, v)
+					}
+				}
+			}
+			return false
+		})
+
+	res := Result{Tasks: tasks, Wasted: wasted, Duration: elapsed, Sched: s.Stats()}
+	d := dist[target].Load()
+	return d, res
+}

@@ -1,0 +1,55 @@
+package algos
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obim"
+	"repro/internal/sched"
+)
+
+func TestSSSPDeltaMatchesDijkstra(t *testing.T) {
+	g := graph.GenerateRoadGrid(20, 20, 17)
+	src := uint32(0)
+	want, _ := DijkstraSeq(g, src)
+	for _, shift := range []uint{0, 2, 6, 10, 20} {
+		for sname, mk := range map[string]func() sched.Scheduler[uint32]{
+			"smq":  func() sched.Scheduler[uint32] { return core.NewStealingMQ[uint32](core.Config{Workers: 4}) },
+			"obim": func() sched.Scheduler[uint32] { return obim.New[uint32](obim.Config{Workers: 4}) },
+		} {
+			got, res := SSSPDelta(g, src, shift, mk())
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("shift=%d %s: dist[%d] = %d, want %d", shift, sname, v, got[v], want[v])
+				}
+			}
+			if res.Tasks == 0 {
+				t.Fatalf("shift=%d %s: no tasks", shift, sname)
+			}
+		}
+	}
+}
+
+func TestSSSPDeltaCoarserShiftMoreWork(t *testing.T) {
+	// Coarser buckets destroy priority order inside a bucket, which can
+	// only increase (or keep) wasted work for a priority-respecting
+	// scheduler with a single worker.
+	g := graph.GenerateRoadGrid(40, 40, 19)
+	_, fineRes := SSSPDelta(g, 0, 0, core.NewStealingMQ[uint32](core.Config{Workers: 1}))
+	_, coarseRes := SSSPDelta(g, 0, 16, core.NewStealingMQ[uint32](core.Config{Workers: 1}))
+	if coarseRes.Tasks < fineRes.Tasks {
+		t.Fatalf("coarse buckets did less work: %d < %d", coarseRes.Tasks, fineRes.Tasks)
+	}
+}
+
+func TestSSSPDeltaShiftClamped(t *testing.T) {
+	g := graph.GenerateRoadGrid(5, 5, 21)
+	want, _ := DijkstraSeq(g, 0)
+	got, _ := SSSPDelta(g, 0, 200, core.NewStealingMQ[uint32](core.Config{Workers: 2}))
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package benchutil holds the shared scheduler micro-benchmark loop used
+// by the per-scheduler *_test.go benchmark files. It is only imported
+// from test files, so it never links into the library or tools.
+package benchutil
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// Throughput is the standard Multi-Queue-literature throughput loop: the
+// scheduler is prefilled, then every worker runs pop→push pairs with
+// random priority increments (a random-walk workload that keeps queue
+// sizes stationary). It reports ns per pop+push pair.
+func Throughput(b *testing.B, s sched.Scheduler[int], prefill int) {
+	b.Helper()
+	workers := s.Workers()
+	for i := 0; i < prefill; i++ {
+		s.Worker(i%workers).Push(uint64(i*2654435761%1_000_000), i)
+	}
+	per := b.N/workers + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Worker(w)
+			rng := xrand.New(uint64(w + 1))
+			for i := 0; i < per; i++ {
+				p, v, ok := h.Pop()
+				if !ok {
+					// Queue ran locally dry; reseed to keep the walk
+					// going (counts as the push half of the pair).
+					h.Push(uint64(rng.Intn(1_000_000)), i)
+					continue
+				}
+				h.Push(p+uint64(rng.Intn(64)), v)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

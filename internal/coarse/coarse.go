@@ -1,0 +1,96 @@
+// Package coarse implements the strawman every relaxed scheduler is
+// measured against: a single global heap behind one mutex. It is the
+// "perfect priority order" endpoint of the paper's relaxation-vs-
+// scalability trade-off (§1, citing Lenharth et al., "Concurrent
+// priority queues are not good priority schedulers"): zero wasted work
+// from inversions, but every operation serializes on one lock, so
+// throughput collapses as workers are added.
+//
+// It is exact: Pop always returns the global minimum, and ok=false means
+// the queue is truly empty at that instant.
+package coarse
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pq"
+	"repro/internal/sched"
+)
+
+// Config parameterizes the coarse-locked queue.
+type Config struct {
+	// Workers is the number of worker slots. Required.
+	Workers int
+	// HeapArity is the global heap fan-out. Default 4.
+	HeapArity int
+}
+
+// Sched is the coarse-locked global priority queue.
+type Sched[T any] struct {
+	cfg      Config
+	mu       sync.Mutex
+	heap     *pq.DHeap[T]
+	workers  []worker[T]
+	counters []sched.Counters
+}
+
+type worker[T any] struct {
+	s *Sched[T]
+	c *sched.Counters
+}
+
+// New builds a coarse-locked scheduler.
+func New[T any](cfg Config) *Sched[T] {
+	if cfg.Workers <= 0 {
+		panic("coarse: Config.Workers must be positive")
+	}
+	if cfg.HeapArity < 2 {
+		cfg.HeapArity = pq.DefaultArity
+	}
+	s := &Sched[T]{
+		cfg:      cfg,
+		heap:     pq.NewDHeapCap[T](cfg.HeapArity, 1024),
+		workers:  make([]worker[T], cfg.Workers),
+		counters: make([]sched.Counters, cfg.Workers),
+	}
+	for i := range s.workers {
+		s.workers[i] = worker[T]{s: s, c: &s.counters[i]}
+	}
+	return s
+}
+
+// Workers reports the number of worker slots.
+func (s *Sched[T]) Workers() int { return s.cfg.Workers }
+
+// Worker returns the handle for worker w.
+func (s *Sched[T]) Worker(w int) sched.Worker[T] {
+	if w < 0 || w >= len(s.workers) {
+		panic(fmt.Sprintf("coarse: worker index %d out of range [0,%d)", w, len(s.workers)))
+	}
+	return &s.workers[w]
+}
+
+// Stats aggregates counters; call only after workers quiesce.
+func (s *Sched[T]) Stats() sched.Stats { return sched.SumCounters(s.counters) }
+
+// Push inserts under the global lock.
+func (w *worker[T]) Push(p uint64, v T) {
+	w.c.Pushes++
+	w.s.mu.Lock()
+	w.s.heap.Push(p, v)
+	w.s.mu.Unlock()
+}
+
+// Pop removes the exact global minimum under the global lock.
+func (w *worker[T]) Pop() (uint64, T, bool) {
+	w.s.mu.Lock()
+	p, v, ok := w.s.heap.Pop()
+	w.s.mu.Unlock()
+	if ok {
+		w.c.Pops++
+	} else {
+		w.c.EmptyPops++
+	}
+	return p, v, ok
+}

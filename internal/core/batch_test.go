@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestInsertBatchVisibleToOwnPop(t *testing.T) {
+	// Fewer buffered pushes than the batch size must still be poppable:
+	// Pop flushes the insert buffer first.
+	s := NewStealingMQ[int](Config{Workers: 1, InsertBatch: 64})
+	w := s.Worker(0)
+	w.Push(5, 50)
+	w.Push(3, 30)
+	got := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		_, v, ok := w.Pop()
+		if !ok {
+			t.Fatalf("Pop %d failed with buffered inserts", i)
+		}
+		got[v] = true
+	}
+	if !got[30] || !got[50] {
+		t.Fatalf("wrong values: %v", got)
+	}
+	if _, _, ok := w.Pop(); ok {
+		t.Fatal("extra task appeared")
+	}
+}
+
+func TestInsertBatchNoLostTasks(t *testing.T) {
+	for _, mkName := range []string{"heap", "skiplist"} {
+		mk := NewStealingMQ[int]
+		if mkName == "skiplist" {
+			mk = NewStealingMQSkipList[int]
+		}
+		s := mk(Config{Workers: 4, InsertBatch: 8, StealProb: 0.25})
+		const perWorker = 4000
+		total := 4 * perWorker
+		var pending sched.Pending
+		pending.Inc(int64(total))
+		seen := make([]int32, total)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for wid := 0; wid < 4; wid++ {
+			wg.Add(1)
+			go func(wid int) {
+				defer wg.Done()
+				w := s.Worker(wid)
+				for i := 0; i < perWorker; i++ {
+					v := wid*perWorker + i
+					w.Push(uint64(v%769), v)
+				}
+				var b sched.Backoff
+				for !pending.Done() {
+					_, v, ok := w.Pop()
+					if !ok {
+						b.Wait()
+						continue
+					}
+					b.Reset()
+					mu.Lock()
+					seen[v]++
+					mu.Unlock()
+					pending.Dec()
+				}
+			}(wid)
+		}
+		wg.Wait()
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("%s: task %d seen %d times", mkName, v, c)
+			}
+		}
+	}
+}
+
+func TestInsertBatchDefaultOff(t *testing.T) {
+	c := Config{Workers: 1}
+	c.normalize()
+	if c.InsertBatch != 1 {
+		t.Fatalf("InsertBatch default = %d, want 1 (off)", c.InsertBatch)
+	}
+}

@@ -1,0 +1,331 @@
+// Package core implements the paper's primary contribution: the Stealing
+// Multi-Queue (SMQ), a cache-efficient relaxed concurrent priority
+// scheduler with probabilistic rank guarantees (§2.2, §4, Theorem 1).
+//
+// # Design
+//
+// Each worker owns one thread-local priority queue. Insertions are always
+// local (queue affinity). Deletions are usually local too, but with
+// probability StealProb the worker compares the top of a randomly chosen
+// victim queue against its own top and, if the victim's is better, steals
+// a whole batch of StealSize tasks (task batching). The surplus of a
+// stolen batch is kept in a worker-local buffer and consumed before any
+// further queue access. Theorem 1 shows this process keeps the expected
+// rank of removed tasks at O(nB(1+γ)/p_steal · log((1+γ)/p_steal)).
+//
+// Two local-queue implementations are provided, as in §4:
+//
+//   - NewStealingMQ: sequential d-ary heaps with an attached stealing
+//     buffer published through a single (epoch, stolen) atomic word
+//     (Listing 4). The owner works on its heap; the buffer holds the
+//     current top batch for thieves and is reclaimed by the owner when
+//     its heap runs dry.
+//   - NewStealingMQSkipList: concurrent skip lists as local queues;
+//     stealing is a batched DeleteMin on the victim's list.
+//
+// # Memory-model note
+//
+// The paper's Listing 4 reads the steal buffer non-atomically and
+// validates with an epoch afterwards (a seqlock). Under the Go memory
+// model that read is a data race, so this implementation publishes each
+// buffer refill as an immutable slice behind an atomic.Pointer and lets
+// the (epoch, stolen) CAS confer ownership of the whole slice. The
+// protocol is otherwise identical: one claimant per epoch, owner refills
+// only after observing the stolen bit.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/numa"
+	"repro/internal/pq"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes both SMQ variants. The zero value of each field
+// selects the paper's default.
+type Config struct {
+	// Workers is the number of worker slots (and local queues). Required.
+	Workers int
+	// StealSize is the batch size for steals (STEAL_SIZE). Default 4.
+	StealSize int
+	// StealProb is p_steal, the probability that a delete first attempts
+	// a steal. Default 1/8. Set negative for 0 (never steal eagerly;
+	// stealing still happens when the local queue is empty).
+	StealProb float64
+	// HeapArity is the local heap fan-out d. Default 4. Ignored by the
+	// skip-list variant.
+	HeapArity int
+	// Seed makes runs reproducible. Default derives per-worker seeds
+	// from 1.
+	Seed uint64
+	// NUMANodes > 1 enables the virtual-NUMA weighted victim sampling of
+	// §4 with weight divisor NUMAWeightK.
+	NUMANodes int
+	// NUMAWeightK is the remote-queue weight divisor K. Default 8 (the
+	// paper's default configuration); only used when NUMANodes > 1.
+	NUMAWeightK float64
+	// StealTries bounds the number of victims probed when the local
+	// queue is empty before Pop reports failure. Default 2·Workers.
+	StealTries int
+	// InsertBatch > 1 enables the paper's insert-buffering optimization
+	// (§2.1 Opt. 1, also applied to the SMQ in §5): consecutive pushes
+	// accumulate in a thread-local buffer that is flushed into the local
+	// queue in bulk — at the latest at the worker's next Pop, so the
+	// worker never misses its own work. Default 1 (off).
+	InsertBatch int
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		panic("core: Config.Workers must be positive")
+	}
+	if c.StealSize <= 0 {
+		c.StealSize = 4
+	}
+	if c.StealProb == 0 {
+		c.StealProb = 1.0 / 8
+	}
+	if c.StealProb < 0 {
+		c.StealProb = 0
+	}
+	if c.HeapArity < 2 {
+		c.HeapArity = pq.DefaultArity
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NUMAWeightK <= 0 {
+		c.NUMAWeightK = 8
+	}
+	if c.StealTries <= 0 {
+		c.StealTries = 2 * c.Workers
+	}
+	if c.InsertBatch < 1 {
+		c.InsertBatch = 1
+	}
+}
+
+// stealQueue is the contract between the generic SMQ worker logic and the
+// two local-queue implementations.
+type stealQueue[T any] interface {
+	// PushLocal inserts a task. Owner only.
+	PushLocal(p uint64, v T)
+	// PopLocal removes the owner-visible best local task, reclaiming the
+	// owner's own steal buffer if the main structure is empty. Owner only.
+	PopLocal() (uint64, T, bool)
+	// TopLocal returns the owner's view of its best local priority.
+	TopLocal() uint64
+	// Top returns the priority visible to thieves (racy snapshot).
+	Top() uint64
+	// Steal attempts to take a batch, appending to dst. Any thread.
+	Steal(dst []pq.Item[T]) []pq.Item[T]
+}
+
+// SMQ is the Stealing Multi-Queue scheduler. Construct with NewStealingMQ
+// or NewStealingMQSkipList.
+type SMQ[T any] struct {
+	cfg      Config
+	topo     numa.Topology
+	queues   []stealQueue[T]
+	workers  []smqWorker[T]
+	counters []sched.Counters
+}
+
+// smqWorker is the per-goroutine handle.
+type smqWorker[T any] struct {
+	s   *SMQ[T]
+	id  int
+	q   stealQueue[T]
+	rng *xrand.Rand
+	smp *numa.Sampler
+	c   *sched.Counters
+
+	// stolen holds surplus tasks from the last stolen batch, consumed
+	// front to back (they arrive in ascending priority order).
+	stolen    []pq.Item[T]
+	stolenIdx int
+
+	// insBuf accumulates local pushes when InsertBatch > 1.
+	insBuf []pq.Item[T]
+}
+
+// NewStealingMQ builds the heap-based SMQ (the paper's headline variant).
+func NewStealingMQ[T any](cfg Config) *SMQ[T] {
+	cfg.normalize()
+	s := newSMQ[T](cfg)
+	for i := range s.queues {
+		s.queues[i] = newHeapQueue[T](cfg.HeapArity, cfg.StealSize)
+	}
+	s.initWorkers()
+	return s
+}
+
+// NewStealingMQSkipList builds the skip-list SMQ variant (§4, App. D).
+func NewStealingMQSkipList[T any](cfg Config) *SMQ[T] {
+	cfg.normalize()
+	s := newSMQ[T](cfg)
+	for i := range s.queues {
+		s.queues[i] = newSkipQueue[T](cfg.Seed+uint64(i)*0x9e37, cfg.StealSize)
+	}
+	s.initWorkers()
+	return s
+}
+
+func newSMQ[T any](cfg Config) *SMQ[T] {
+	return &SMQ[T]{
+		cfg:      cfg,
+		topo:     numa.New(cfg.Workers, max(cfg.NUMANodes, 1), 1),
+		queues:   make([]stealQueue[T], cfg.Workers),
+		workers:  make([]smqWorker[T], cfg.Workers),
+		counters: make([]sched.Counters, cfg.Workers),
+	}
+}
+
+func (s *SMQ[T]) initWorkers() {
+	k := 1.0
+	if s.cfg.NUMANodes > 1 {
+		k = s.cfg.NUMAWeightK
+	}
+	for i := range s.workers {
+		rng := xrand.New(s.cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+		s.workers[i] = smqWorker[T]{
+			s:   s,
+			id:  i,
+			q:   s.queues[i],
+			rng: rng,
+			smp: numa.NewSampler(s.topo, i, k, rng),
+			c:   &s.counters[i],
+		}
+	}
+}
+
+// Workers reports the number of worker slots.
+func (s *SMQ[T]) Workers() int { return s.cfg.Workers }
+
+// Worker returns the handle for worker w. Each handle must be used by a
+// single goroutine.
+func (s *SMQ[T]) Worker(w int) sched.Worker[T] {
+	if w < 0 || w >= len(s.workers) {
+		panic(fmt.Sprintf("core: worker index %d out of range [0,%d)", w, len(s.workers)))
+	}
+	return &s.workers[w]
+}
+
+// Stats aggregates counters; call only after workers quiesce. Remote
+// counts are collected from the NUMA samplers.
+func (s *SMQ[T]) Stats() sched.Stats {
+	for i := range s.workers {
+		s.counters[i].Remote = s.workers[i].smp.Remote
+	}
+	return sched.SumCounters(s.counters)
+}
+
+// Push inserts into the worker's local queue (Listing 2: insert is always
+// local — queue affinity is what makes the SMQ cache-friendly). With
+// InsertBatch > 1, pushes accumulate locally and enter the queue in bulk.
+func (w *smqWorker[T]) Push(p uint64, v T) {
+	w.c.Pushes++
+	if w.s.cfg.InsertBatch > 1 {
+		w.insBuf = append(w.insBuf, pq.Item[T]{P: p, V: v})
+		if len(w.insBuf) >= w.s.cfg.InsertBatch {
+			w.flushInserts()
+		}
+		return
+	}
+	w.q.PushLocal(p, v)
+}
+
+// flushInserts drains the insert buffer into the local queue.
+func (w *smqWorker[T]) flushInserts() {
+	for _, it := range w.insBuf {
+		w.q.PushLocal(it.P, it.V)
+	}
+	clear(w.insBuf)
+	w.insBuf = w.insBuf[:0]
+}
+
+// Pop implements Listing 2's delete():
+//  1. drain previously stolen surplus tasks;
+//  2. with probability p_steal, try to steal a better batch;
+//  3. otherwise (or if the steal found nothing better) take locally;
+//  4. if the local queue is empty, fall back to stealing anything.
+func (w *smqWorker[T]) Pop() (uint64, T, bool) {
+	if len(w.insBuf) > 0 {
+		// Make our own buffered inserts visible before popping, so a
+		// worker can never miss (or strand) its own work.
+		w.flushInserts()
+	}
+	if w.stolenIdx < len(w.stolen) {
+		it := w.stolen[w.stolenIdx]
+		var zero pq.Item[T]
+		w.stolen[w.stolenIdx] = zero
+		w.stolenIdx++
+		w.c.Pops++
+		return it.P, it.V, true
+	}
+	if w.s.cfg.StealProb > 0 && w.rng.Bernoulli(w.s.cfg.StealProb) {
+		if p, v, ok := w.trySteal(); ok {
+			w.c.Pops++
+			return p, v, true
+		}
+	}
+	if p, v, ok := w.q.PopLocal(); ok {
+		w.c.Pops++
+		return p, v, true
+	}
+	// Local queue exhausted: scan for any victim with work.
+	for try := 0; try < w.s.cfg.StealTries; try++ {
+		if p, v, ok := w.stealFrom(w.randomVictim(), false); ok {
+			w.c.Pops++
+			return p, v, true
+		}
+	}
+	w.c.EmptyPops++
+	var zero T
+	return pq.InfPriority, zero, false
+}
+
+// randomVictim samples a victim queue (NUMA-weighted when configured),
+// excluding the worker's own queue.
+func (w *smqWorker[T]) randomVictim() int {
+	if w.s.cfg.Workers == 1 {
+		return w.id
+	}
+	return w.smp.SampleOther(w.id)
+}
+
+// trySteal is Listing 2's trySteal(): probe one random victim and take a
+// batch only if its visible top beats the local top.
+func (w *smqWorker[T]) trySteal() (uint64, T, bool) {
+	if w.s.cfg.Workers == 1 {
+		return 0, *new(T), false
+	}
+	return w.stealFrom(w.randomVictim(), true)
+}
+
+// stealFrom takes a batch from victim. When compare is set, the steal
+// only proceeds if the victim's top is strictly better than the local
+// top (the two-choice discipline that drives the rank guarantee).
+func (w *smqWorker[T]) stealFrom(victim int, compare bool) (uint64, T, bool) {
+	if victim == w.id {
+		return 0, *new(T), false
+	}
+	vq := w.s.queues[victim]
+	if compare && vq.Top() >= w.q.TopLocal() {
+		w.c.StealFails++
+		return 0, *new(T), false
+	}
+	w.stolen = vq.Steal(w.stolen[:0]) // reuse backing array
+	w.stolenIdx = 0
+	if len(w.stolen) == 0 {
+		w.c.StealFails++
+		return 0, *new(T), false
+	}
+	w.c.Steals++
+	w.c.StolenTask += uint64(len(w.stolen))
+	it := w.stolen[0]
+	w.stolenIdx = 1
+	return it.P, it.V, true
+}

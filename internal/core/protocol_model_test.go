@@ -1,0 +1,188 @@
+package core
+
+// An exhaustive interleaving check ("mini model checker") for the
+// (epoch, stolen) steal-buffer protocol of Listing 4. The protocol is
+// abstracted to its atomic steps and ALL interleavings of one owner and
+// two thieves over several epochs are enumerated; in every execution each
+// published batch must be claimed exactly once (no duplication, no loss,
+// no cross-epoch claim). This complements the stress tests: stress finds
+// probable bugs, enumeration finds all bugs within the bounded scope.
+
+import "testing"
+
+// modelState is the shared state: the packed word and the published
+// batch pointer (represented by its epoch; item content is irrelevant).
+type modelState struct {
+	state    uint64 // epoch<<1 | stolen
+	bufEpoch uint64 // epoch carried by the published batch; 0 = nil
+	// accounting
+	published int // batches published
+	claims    map[uint64]int
+}
+
+// thief is the step machine of Steal(): load state → load buf →
+// CAS(state, state|1).
+type thief struct {
+	pc      int
+	s       uint64 // loaded state
+	b       uint64 // loaded buf epoch
+	claimed []uint64
+}
+
+// step advances the thief one atomic action. done=true when the thief
+// finished its (single) steal attempt.
+func (t *thief) step(m *modelState) (done bool) {
+	switch t.pc {
+	case 0: // load state
+		t.s = m.state
+		if t.s&1 == 1 {
+			return true // stolen bit set: give up
+		}
+		t.pc = 1
+	case 1: // load buf
+		t.b = m.bufEpoch
+		if t.b == 0 || t.b != t.s>>1 {
+			// Retry from the start (bounded by epochs in the model).
+			t.pc = 0
+			return false
+		}
+		t.pc = 2
+	case 2: // CAS state -> state|1
+		if m.state == t.s {
+			m.state = t.s | 1
+			t.claimed = append(t.claimed, t.b)
+			m.claims[t.b]++
+		}
+		return true
+	}
+	return false
+}
+
+// owner is the step machine of fillBuffer(): (precondition stolen bit) →
+// store buf{epoch+1} → store state(epoch+1)<<1. Each call publishes one
+// batch. The heap interaction is irrelevant to the protocol and elided.
+type owner struct {
+	pc       int
+	newEpoch uint64
+	rounds   int // remaining publishes
+}
+
+func (o *owner) step(m *modelState) (done bool) {
+	switch o.pc {
+	case 0: // check stolen bit (owner refills only after a steal)
+		if m.state&1 == 0 {
+			return false // nothing to do; stay at pc 0
+		}
+		o.newEpoch = m.state>>1 + 1
+		o.pc = 1
+	case 1: // store buf
+		m.bufEpoch = o.newEpoch
+		o.pc = 2
+	case 2: // store state (publishes, clears stolen bit)
+		m.state = o.newEpoch << 1
+		m.published++
+		o.rounds--
+		o.pc = 0
+		return o.rounds == 0
+	}
+	return false
+}
+
+// explore enumerates every interleaving via DFS over scheduler choices.
+func explore(t *testing.T, m modelState, ow owner, th []thief, active []bool, depth int) {
+	if depth > 64 {
+		t.Fatal("model exceeded depth bound (livelock in protocol?)")
+	}
+	if m.claims == nil {
+		m.claims = map[uint64]int{}
+	}
+	anyActive := ow.rounds > 0
+	for i := range th {
+		if active[i] {
+			anyActive = true
+		}
+	}
+	if !anyActive {
+		// Terminal state: validate.
+		for epoch, c := range m.claims {
+			if c != 1 {
+				t.Fatalf("epoch %d claimed %d times", epoch, c)
+			}
+			if epoch == 0 || epoch > uint64(m.published) {
+				t.Fatalf("claim of unpublished epoch %d (published %d)", epoch, m.published)
+			}
+		}
+		return
+	}
+	// Schedule the owner.
+	if ow.rounds > 0 {
+		m2 := m
+		m2.claims = copyClaims(m.claims)
+		ow2 := ow
+		if done := ow2.step(&m2); done {
+			ow2.rounds = 0
+		}
+		// Progress guard: owner at pc 0 with no stolen bit spins; only
+		// recurse if something changed or a thief can still act.
+		if ow2 != ow || m2.state != m.state || m2.bufEpoch != m.bufEpoch {
+			explore(t, m2, ow2, copyThieves(th), copyActive(active), depth+1)
+		}
+	}
+	// Schedule each active thief.
+	for i := range th {
+		if !active[i] {
+			continue
+		}
+		m2 := m
+		m2.claims = copyClaims(m.claims)
+		th2 := copyThieves(th)
+		act2 := copyActive(active)
+		if done := th2[i].step(&m2); done {
+			act2[i] = false
+		}
+		explore(t, m2, ow2Noop(ow), th2, act2, depth+1)
+	}
+}
+
+func ow2Noop(o owner) owner { return o }
+
+func copyClaims(in map[uint64]int) map[uint64]int {
+	out := make(map[uint64]int, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func copyThieves(in []thief) []thief {
+	out := make([]thief, len(in))
+	for i := range in {
+		out[i] = in[i]
+		out[i].claimed = append([]uint64(nil), in[i].claimed...)
+	}
+	return out
+}
+
+func copyActive(in []bool) []bool {
+	return append([]bool(nil), in...)
+}
+
+func TestStealBufferProtocolAllInterleavings(t *testing.T) {
+	// Initial state: epoch 1 published (owner filled once), two thieves
+	// each attempting one steal, owner willing to republish twice more.
+	m := modelState{state: 1 << 1, bufEpoch: 1, published: 1}
+	ow := owner{rounds: 2}
+	thieves := []thief{{}, {}}
+	active := []bool{true, true}
+	explore(t, m, ow, thieves, active, 0)
+}
+
+func TestStealBufferProtocolThreeThieves(t *testing.T) {
+	// Three thieves racing for a single published epoch: exactly one may
+	// win; the owner republishes once.
+	m := modelState{state: 1 << 1, bufEpoch: 1, published: 1}
+	ow := owner{rounds: 1}
+	thieves := []thief{{}, {}, {}}
+	active := []bool{true, true, true}
+	explore(t, m, ow, thieves, active, 0)
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CoordScale converts DIMACS integer coordinates (longitude/latitude in
+// micro-degrees, as in the 9th DIMACS Challenge .co files for the paper's
+// road inputs) to this package's float coordinates.
+const CoordScale = 1e-6
+
+// ReadDIMACSCoords parses a DIMACS .co coordinate file ("p aux sp co N"
+// header, "v id x y" lines, 1-based ids) and attaches the coordinates to
+// g, enabling the A* heuristic on real road networks.
+func ReadDIMACSCoords(r io.Reader, g *CSR) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	coords := make([]Coord, g.N)
+	seen := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == 'c' {
+			continue
+		}
+		switch text[0] {
+		case 'p':
+			fields := strings.Fields(text)
+			if len(fields) != 5 || fields[1] != "aux" || fields[2] != "sp" || fields[3] != "co" {
+				return fmt.Errorf("graph: line %d: bad coord problem line %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[4])
+			if err != nil || n != g.N {
+				return fmt.Errorf("graph: line %d: coord count %q does not match graph (%d vertices)", line, fields[4], g.N)
+			}
+		case 'v':
+			fields := strings.Fields(text)
+			if len(fields) != 4 {
+				return fmt.Errorf("graph: line %d: bad vertex line %q", line, text)
+			}
+			id, err1 := strconv.ParseUint(fields[1], 10, 32)
+			x, err2 := strconv.ParseInt(fields[2], 10, 64)
+			y, err3 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fmt.Errorf("graph: line %d: bad vertex numbers %q", line, text)
+			}
+			if id < 1 || int(id) > g.N {
+				return fmt.Errorf("graph: line %d: vertex %d out of range", line, id)
+			}
+			coords[id-1] = Coord{X: float64(x) * CoordScale, Y: float64(y) * CoordScale}
+			seen++
+		default:
+			return fmt.Errorf("graph: line %d: unknown record %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("graph: reading coords: %w", err)
+	}
+	if seen != g.N {
+		return fmt.Errorf("graph: coord file has %d vertices, graph has %d", seen, g.N)
+	}
+	g.Coords = coords
+	return nil
+}
+
+// WriteDIMACSCoords emits g's coordinates in DIMACS .co format.
+func WriteDIMACSCoords(w io.Writer, g *CSR) error {
+	if g.Coords == nil {
+		return fmt.Errorf("graph: no coordinates to write")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p aux sp co %d\n", g.N); err != nil {
+		return err
+	}
+	for i, c := range g.Coords {
+		if _, err := fmt.Fprintf(bw, "v %d %d %d\n", i+1,
+			int64(c.X/CoordScale), int64(c.Y/CoordScale)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

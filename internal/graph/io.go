@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDIMACS parses a 9th DIMACS Implementation Challenge shortest-path
+// graph ("p sp N M" header, "a U V W" arc lines, 1-based vertex ids) —
+// the format of the paper's USA/WEST road inputs. Comments ("c ...") are
+// ignored.
+func ReadDIMACS(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == 'c' {
+			continue
+		}
+		switch text[0] {
+		case 'p':
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "sp" {
+				return nil, fmt.Errorf("graph: line %d: bad problem line %q", line, text)
+			}
+			var err error
+			n, err = strconv.Atoi(fields[2])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", line, fields[2])
+			}
+			m, err := strconv.Atoi(fields[3])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, fields[3])
+			}
+			edges = make([]Edge, 0, m)
+		case 'a':
+			if n == 0 {
+				return nil, fmt.Errorf("graph: line %d: arc before problem line", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: bad arc line %q", line, text)
+			}
+			u, err1 := strconv.ParseUint(fields[1], 10, 32)
+			v, err2 := strconv.ParseUint(fields[2], 10, 32)
+			w, err3 := strconv.ParseUint(fields[3], 10, 32)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad arc numbers %q", line, text)
+			}
+			if u < 1 || v < 1 || int(u) > n || int(v) > n {
+				return nil, fmt.Errorf("graph: line %d: vertex out of range", line)
+			}
+			edges = append(edges, Edge{U: uint32(u - 1), V: uint32(v - 1), W: uint32(w)})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading DIMACS: %w", err)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("graph: missing problem line")
+	}
+	return Build(n, edges, nil)
+}
+
+// WriteDIMACS emits the graph in DIMACS shortest-path format.
+func WriteDIMACS(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p sp %d %d\n", g.N, g.M()); err != nil {
+		return err
+	}
+	for u := 0; u < g.N; u++ {
+		ts, ws := g.Neighbors(uint32(u))
+		for i, v := range ts {
+			if _, err := fmt.Fprintf(bw, "a %d %d %d\n", u+1, v+1, ws[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+const binMagic = uint32(0x534d5147) // "SMQG"
+
+// WriteBinary serializes the graph (including coordinates) in a compact
+// little-endian format for fast reloads by cmd/graphgen consumers.
+func WriteBinary(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{uint64(binMagic), uint64(g.N), uint64(g.M())}
+	hasCoords := uint64(0)
+	if g.Coords != nil {
+		hasCoords = 1
+	}
+	hdr = append(hdr, hasCoords)
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Targets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+		return err
+	}
+	if g.Coords != nil {
+		for _, c := range g.Coords {
+			if err := binary.Write(bw, binary.LittleEndian, []float64{c.X, c.Y}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: reading binary header: %w", err)
+		}
+	}
+	if uint32(hdr[0]) != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	n, m := int(hdr[1]), int(hdr[2])
+	if n <= 0 || m < 0 || m > 1<<34 {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
+	}
+	g := &CSR{
+		N:       n,
+		Offsets: make([]int64, n+1),
+		Targets: make([]uint32, m),
+		Weights: make([]uint32, m),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Targets); err != nil {
+		return nil, fmt.Errorf("graph: reading targets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+		return nil, fmt.Errorf("graph: reading weights: %w", err)
+	}
+	if hdr[3] == 1 {
+		g.Coords = make([]Coord, n)
+		buf := make([]float64, 2)
+		for i := range g.Coords {
+			if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+				return nil, fmt.Errorf("graph: reading coords: %w", err)
+			}
+			g.Coords[i] = Coord{X: buf[0], Y: buf[1]}
+		}
+	}
+	// Validate structural invariants so corrupt files fail loudly.
+	if g.Offsets[0] != 0 || g.Offsets[n] != int64(m) {
+		return nil, fmt.Errorf("graph: corrupt offsets")
+	}
+	for i := 0; i < n; i++ {
+		if g.Offsets[i] > g.Offsets[i+1] {
+			return nil, fmt.Errorf("graph: non-monotone offsets at %d", i)
+		}
+	}
+	for _, t := range g.Targets {
+		if int(t) >= n {
+			return nil, fmt.Errorf("graph: target %d out of range", t)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStandardWorkloadsShape(t *testing.T) {
+	ws := StandardWorkloads(1)
+	if len(ws) != 12 {
+		t.Fatalf("expected the paper's 12 benchmarks, got %d", len(ws))
+	}
+	counts := map[AlgoKind]int{}
+	for _, w := range ws {
+		counts[w.Algo]++
+	}
+	if counts[AlgoSSSP] != 4 || counts[AlgoBFS] != 4 || counts[AlgoAStar] != 2 || counts[AlgoMST] != 2 {
+		t.Fatalf("benchmark mix wrong: %v", counts)
+	}
+}
+
+func TestWorkloadRunAndValidate(t *testing.T) {
+	for _, w := range QuickWorkloads(1) {
+		spec := SMQSpec("SMQ", 4, 0.125, 0)
+		res, err := w.Run(spec.Make(2), true)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if res.Tasks == 0 {
+			t.Fatalf("%s: no tasks", w.Name)
+		}
+	}
+}
+
+func TestSeqBaselineCached(t *testing.T) {
+	w := QuickWorkloads(1)[0]
+	t1, d1 := w.SeqBaseline()
+	t2, d2 := w.SeqBaseline()
+	if t1 != t2 || d1 != d2 {
+		t.Fatal("baseline not cached")
+	}
+	if t1 == 0 || d1 <= 0 {
+		t.Fatalf("degenerate baseline: %d %v", t1, d1)
+	}
+}
+
+func TestMeasureRepeatsKeepBest(t *testing.T) {
+	w := QuickWorkloads(1)[0]
+	spec := SMQSpec("SMQ", 4, 0.125, 0)
+	m, err := Measure(w, spec, 2, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Duration <= 0 || m.Tasks == 0 {
+		t.Fatalf("bad measurement: %+v", m)
+	}
+	if m.Scheduler != "SMQ" || m.Threads != 2 {
+		t.Fatalf("metadata wrong: %+v", m)
+	}
+}
+
+func TestRegistryCoversPaperArtifacts(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig7", "fig9", "fig11", "fig13", "fig15", "fig19", "numa", "theory"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, ok := Find("fig2"); !ok {
+		t.Fatal("fig2 not found")
+	}
+	if _, ok := Find("nonsense"); ok {
+		t.Fatal("found nonexistent experiment")
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	tables, err := runTable1(RunConfig{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 4 {
+		t.Fatalf("table1 should list 4 graphs, got %+v", tables)
+	}
+}
+
+func TestTheoryExperimentRuns(t *testing.T) {
+	tables, err := runTheory(RunConfig{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 6 {
+		t.Fatalf("theory should produce 6 tables, got %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("empty table %q", tb.Title)
+		}
+	}
+}
+
+func TestSmallComparisonExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison experiment is slow")
+	}
+	// Shrink to a single thread count and validation on, to exercise the
+	// full fig2 path end to end.
+	tables, err := runFig2(RunConfig{Scale: 1, Threads: []int{2}, Reps: 1, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 12 {
+		t.Fatalf("fig2 should emit 12 panels, got %d", len(tables))
+	}
+}
+
+func TestTableWriters(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Header: []string{"a", "b"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+
+	var tsv bytes.Buffer
+	if err := tb.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tsv.String(), "# demo") || !strings.Contains(tsv.String(), "1\t2") {
+		t.Fatalf("bad TSV: %q", tsv.String())
+	}
+
+	var txt bytes.Buffer
+	if err := tb.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "== demo ==") {
+		t.Fatalf("bad text: %q", txt.String())
+	}
+
+	var both bytes.Buffer
+	if err := WriteTables(&both, []Table{tb, tb}, "tsv"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(both.String(), "# demo") != 2 {
+		t.Fatal("WriteTables dropped a table")
+	}
+}
+
+func TestGraphSuffix(t *testing.T) {
+	if graphSuffix("SSSP USA") != "USA" || graphSuffix("BFS TWITTER") != "TWITTER" {
+		t.Fatal("graphSuffix broken")
+	}
+}
+
+func TestSpeedupCellFormat(t *testing.T) {
+	if got := speedupCell(1.5, 1.07); got != "1.50/1.07" {
+		t.Fatalf("cell = %q", got)
+	}
+}

@@ -1,0 +1,622 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mq"
+	"repro/internal/ranksim"
+	"repro/internal/sched"
+)
+
+// RunConfig controls an experiment run's scale and sweep dimensions.
+type RunConfig struct {
+	// Scale multiplies graph sizes (1 = laptop-small; the paper's inputs
+	// are far larger — see DESIGN.md substitutions).
+	Scale int
+	// Threads is the thread sweep for comparison experiments.
+	Threads []int
+	// MaxThreads is the fixed thread count for ablation grids (the paper
+	// runs those at the machine's maximum).
+	MaxThreads int
+	// Reps repeats every measurement, keeping the fastest run.
+	Reps int
+	// Validate checks every run's output against sequential baselines.
+	Validate bool
+}
+
+func (c *RunConfig) normalize() {
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 2, 4}
+	}
+	if c.MaxThreads < 1 {
+		c.MaxThreads = c.Threads[len(c.Threads)-1]
+	}
+	if c.Reps < 1 {
+		c.Reps = 1
+	}
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Paper string // which table/figure of the paper this regenerates
+	Desc  string
+	Run   func(cfg RunConfig) ([]Table, error)
+}
+
+// Registry lists every experiment, in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "table1", Paper: "Table 1", Desc: "input graph inventory (substituted generators)", Run: runTable1},
+		{ID: "table2", Paper: "Tables 2-3", Desc: "classic Multi-Queue speedup for C in 2..8", Run: runTable2},
+		{ID: "fig1", Paper: "Figure 1 (+ Figs 17-18, Tables 12-13)", Desc: "SMQ-heap psteal × steal-size ablation", Run: runFig1Heap},
+		{ID: "fig19", Paper: "Figures 19-20, Tables 14-15", Desc: "SMQ-skiplist psteal × steal-size ablation", Run: runFig19Skip},
+		{ID: "fig2", Paper: "Figure 2 (+ Figs 21-22)", Desc: "main scheduler comparison across 12 benchmarks", Run: runFig2},
+		{ID: "fig3", Paper: "Figures 3-6", Desc: "OBIM and PMOD delta × chunk tuning", Run: runFig3},
+		{ID: "fig7", Paper: "Figures 7-8, Tables 4-5", Desc: "MQ insert=TL × delete=TL grid", Run: runFig7},
+		{ID: "fig9", Paper: "Figures 9-10, Tables 6-7", Desc: "MQ insert=TL × delete=batch grid", Run: runFig9},
+		{ID: "fig11", Paper: "Figures 11-12, Tables 8-9", Desc: "MQ insert=batch × delete=TL grid", Run: runFig11},
+		{ID: "fig13", Paper: "Figures 13-14, Tables 10-11", Desc: "MQ insert=batch × delete=batch grid", Run: runFig13},
+		{ID: "fig15", Paper: "Figures 15-16", Desc: "best MQ optimization combinations side by side", Run: runFig15},
+		{ID: "numa", Paper: "Tables 16-27", Desc: "NUMA weight K sweep for MQ and SMQ variants", Run: runNUMA},
+		{ID: "theory", Paper: "Theorem 1 (§3)", Desc: "rank bounds of the SMQ process vs the (1+β) coupling", Run: runTheory},
+		{ID: "rankprobe", Paper: "§5 (wasted-work mechanism)", Desc: "empirical rank relaxation of every scheduler implementation", Run: runRankProbe},
+	}
+}
+
+// Find locates an experiment by id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+// fm formats a float compactly.
+func fm(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// speedupCell renders "speedup/workIncrease", the format of the paper's
+// ablation heatmaps.
+func speedupCell(speedup, work float64) string {
+	return fmt.Sprintf("%.2f/%.2f", speedup, work)
+}
+
+// classicBaselines measures the classic MQ (C=4) on every workload at the
+// given thread count — the ablation experiments' reference point.
+func classicBaselines(ws []*Workload, threads, reps int, validate bool) (map[string]Measurement, error) {
+	spec := SchedulerSpec{Name: "MQ Classic", Params: "C=4", Make: ClassicMQBaseline}
+	out := make(map[string]Measurement, len(ws))
+	for _, w := range ws {
+		m, err := Measure(w, spec, threads, reps, validate)
+		if err != nil {
+			return nil, err
+		}
+		out[w.Name] = m
+	}
+	return out, nil
+}
+
+// gridExperiment runs a two-parameter scheduler grid on the quick
+// workload set, producing one speedup/work table per workload, relative
+// to the classic MQ baseline at the same thread count.
+func gridExperiment(
+	cfg RunConfig,
+	title string,
+	rowName string, rowVals []string,
+	colName string, colVals []string,
+	mk func(row, col int) SchedulerSpec,
+) ([]Table, error) {
+	cfg.normalize()
+	ws := QuickWorkloads(cfg.Scale)
+	base, err := classicBaselines(ws, cfg.MaxThreads, cfg.Reps, cfg.Validate)
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	for _, w := range ws {
+		t := Table{
+			Title:  fmt.Sprintf("%s — %s (cells: speedup/work-increase vs classic MQ, %d threads)", title, w.Name, cfg.MaxThreads),
+			Header: append([]string{rowName + `\` + colName}, colVals...),
+		}
+		b := base[w.Name]
+		for ri, rv := range rowVals {
+			row := []string{rv}
+			for ci := range colVals {
+				m, err := Measure(w, mk(ri, ci), cfg.MaxThreads, cfg.Reps, cfg.Validate)
+				if err != nil {
+					return nil, err
+				}
+				speedup := safeRatio(b.Duration, m.Duration)
+				work := safeDiv(float64(m.Tasks), float64(b.Tasks))
+				row = append(row, speedupCell(speedup, work))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func safeRatio(base, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(base) / float64(d)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ---------------------------------------------------------------------------
+// table1
+
+func runTable1(cfg RunConfig) ([]Table, error) {
+	cfg.normalize()
+	t := Table{
+		Title:  "Table 1 — input graphs (synthetic substitutes; see DESIGN.md §2)",
+		Header: []string{"Graph", "|V|", "|E|", "MaxDeg", "AvgDeg", "Coords", "Description"},
+	}
+	desc := map[string]string{
+		"USA":     "road grid standing in for full USA roads",
+		"WEST":    "road grid standing in for western USA roads",
+		"TWITTER": "RMAT power-law graph standing in for Twitter follows",
+		"WEB":     "RMAT power-law graph standing in for the .sk web crawl",
+	}
+	ws := StandardWorkloads(cfg.Scale)
+	seen := map[string]bool{}
+	for _, w := range ws {
+		name := w.Name[len(w.Name)-len(graphSuffix(w.Name)):]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		s := w.Graph.Stat(name)
+		t.AddRow(s.Name, fmt.Sprint(s.N), fmt.Sprint(s.M), fmt.Sprint(s.MaxDeg),
+			fm(s.AvgDeg), fmt.Sprint(s.HasCoords), desc[name])
+	}
+	return []Table{t}, nil
+}
+
+func graphSuffix(workload string) string {
+	for i := len(workload) - 1; i >= 0; i-- {
+		if workload[i] == ' ' {
+			return workload[i+1:]
+		}
+	}
+	return workload
+}
+
+// ---------------------------------------------------------------------------
+// table2: classic MQ with C in 2..8
+
+func runTable2(cfg RunConfig) ([]Table, error) {
+	cfg.normalize()
+	ws := StandardWorkloads(cfg.Scale)
+	t := Table{
+		Title:  fmt.Sprintf("Tables 2-3 — classic Multi-Queue speedup vs sequential baseline (%d threads)", cfg.MaxThreads),
+		Header: []string{"Benchmark", "C=2", "C=3", "C=4", "C=5", "C=6", "C=7", "C=8"},
+	}
+	for _, w := range ws {
+		_, seqDur := w.SeqBaseline()
+		row := []string{w.Name}
+		for c := 2; c <= 8; c++ {
+			spec := SchedulerSpec{
+				Name: fmt.Sprintf("MQ C=%d", c),
+				Make: func(workers int) sched.Scheduler[uint32] {
+					return mq.New[uint32](mq.Classic(workers, c))
+				},
+			}
+			m, err := Measure(w, spec, cfg.MaxThreads, cfg.Reps, cfg.Validate)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fm(safeRatio(seqDur, m.Duration)))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
+}
+
+// ---------------------------------------------------------------------------
+// fig1 / fig19: SMQ ablations
+
+var ablationStealProbs = []struct {
+	label string
+	p     float64
+}{
+	{"1/2", 0.5}, {"1/4", 0.25}, {"1/8", 0.125}, {"1/16", 0.0625}, {"1/32", 0.03125}, {"1/64", 0.015625},
+}
+
+var ablationStealSizes = []int{1, 2, 4, 8, 16, 64}
+
+func runFig1Heap(cfg RunConfig) ([]Table, error) {
+	rows := make([]string, len(ablationStealProbs))
+	for i, sp := range ablationStealProbs {
+		rows[i] = sp.label
+	}
+	cols := make([]string, len(ablationStealSizes))
+	for i, sz := range ablationStealSizes {
+		cols[i] = fmt.Sprint(sz)
+	}
+	return gridExperiment(cfg, "Figure 1 — SMQ (d-ary heaps)", "psteal", rows, "stealSize", cols,
+		func(ri, ci int) SchedulerSpec {
+			return SMQSpec("SMQ", ablationStealSizes[ci], ablationStealProbs[ri].p, 0)
+		})
+}
+
+func runFig19Skip(cfg RunConfig) ([]Table, error) {
+	rows := make([]string, len(ablationStealProbs))
+	for i, sp := range ablationStealProbs {
+		rows[i] = sp.label
+	}
+	cols := make([]string, len(ablationStealSizes))
+	for i, sz := range ablationStealSizes {
+		cols[i] = fmt.Sprint(sz)
+	}
+	return gridExperiment(cfg, "Figures 19-20 — SMQ (skip lists)", "psteal", rows, "stealSize", cols,
+		func(ri, ci int) SchedulerSpec {
+			p := ablationStealProbs[ri].p
+			sz := ablationStealSizes[ci]
+			return SchedulerSpec{
+				Name:   "SMQ SkipList",
+				Params: fmt.Sprintf("steal=%d psteal=%.3g", sz, p),
+				Make: func(workers int) sched.Scheduler[uint32] {
+					return core.NewStealingMQSkipList[uint32](core.Config{
+						Workers: workers, StealSize: sz, StealProb: p})
+				},
+			}
+		})
+}
+
+// ---------------------------------------------------------------------------
+// fig2: the main comparison
+
+func runFig2(cfg RunConfig) ([]Table, error) {
+	cfg.normalize()
+	ws := StandardWorkloads(cfg.Scale)
+	specs := StandardSchedulers()
+
+	var tables []Table
+	for _, w := range ws {
+		seqTasks, _ := w.SeqBaseline()
+		// Paper baseline: classic Multi-Queue on one thread.
+		baseSpec := SchedulerSpec{Name: "MQ Classic", Params: "C=4", Make: ClassicMQBaseline}
+		base, err := Measure(w, baseSpec, 1, cfg.Reps, cfg.Validate)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			Title:  fmt.Sprintf("Figure 2 — %s (speedup vs classic MQ on 1 thread; work vs sequential)", w.Name),
+			Header: []string{"Scheduler", "Threads", "Time", "Speedup", "WorkIncrease", "RemoteFrac"},
+		}
+		for _, spec := range specs {
+			for _, th := range cfg.Threads {
+				m, err := Measure(w, spec, th, cfg.Reps, cfg.Validate)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(spec.Name, fmt.Sprint(th), m.Duration.Round(time.Microsecond).String(),
+					fm(safeRatio(base.Duration, m.Duration)),
+					fm(safeDiv(float64(m.Tasks), float64(seqTasks))),
+					fm(m.Remote))
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// ---------------------------------------------------------------------------
+// fig3: OBIM / PMOD tuning
+
+func runFig3(cfg RunConfig) ([]Table, error) {
+	deltas := []uint32{2, 4, 8, 12, 16}
+	chunks := []int{1, 8, 32, 64, 256}
+	rows := make([]string, len(deltas))
+	for i, d := range deltas {
+		rows[i] = fmt.Sprint(d)
+	}
+	cols := make([]string, len(chunks))
+	for i, c := range chunks {
+		cols[i] = fmt.Sprint(c)
+	}
+	obimTables, err := gridExperiment(cfg, "Figures 3/5 — OBIM tuning", "delta", rows, "chunk", cols,
+		func(ri, ci int) SchedulerSpec {
+			return OBIMSpec("OBIM", deltas[ri], chunks[ci], false)
+		})
+	if err != nil {
+		return nil, err
+	}
+	pmodTables, err := gridExperiment(cfg, "Figures 4/6 — PMOD tuning", "delta", rows, "chunk", cols,
+		func(ri, ci int) SchedulerSpec {
+			return OBIMSpec("PMOD", deltas[ri], chunks[ci], true)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return append(obimTables, pmodTables...), nil
+}
+
+// ---------------------------------------------------------------------------
+// fig7..fig13: classic MQ optimization grids
+
+var tlProbs = []struct {
+	label string
+	p     float64
+}{
+	{"1/1", 1}, {"1/4", 0.25}, {"1/16", 0.0625}, {"1/64", 0.015625}, {"1/256", 1.0 / 256}, {"1/1024", 1.0 / 1024},
+}
+
+var batchSizes = []int{2, 8, 32, 128, 512}
+
+func tlLabels() []string {
+	out := make([]string, len(tlProbs))
+	for i, t := range tlProbs {
+		out[i] = t.label
+	}
+	return out
+}
+
+func batchLabels() []string {
+	out := make([]string, len(batchSizes))
+	for i, b := range batchSizes {
+		out[i] = fmt.Sprint(b)
+	}
+	return out
+}
+
+func mqSpec(name string, c mq.Config) SchedulerSpec {
+	return SchedulerSpec{
+		Name: name,
+		Make: func(workers int) sched.Scheduler[uint32] {
+			c2 := c
+			c2.Workers = workers
+			return mq.New[uint32](c2)
+		},
+	}
+}
+
+func runFig7(cfg RunConfig) ([]Table, error) {
+	return gridExperiment(cfg, "Figures 7-8 — MQ insert=TL, delete=TL", "pinsert", tlLabels(), "pdelete", tlLabels(),
+		func(ri, ci int) SchedulerSpec {
+			return mqSpec("MQ TL/TL", mq.Config{C: 4,
+				Insert: mq.InsertTemporalLocality, PInsertChange: tlProbs[ri].p,
+				Delete: mq.DeleteTemporalLocality, PDeleteChange: tlProbs[ci].p})
+		})
+}
+
+func runFig9(cfg RunConfig) ([]Table, error) {
+	return gridExperiment(cfg, "Figures 9-10 — MQ insert=TL, delete=batch", "pinsert", tlLabels(), "batchDelete", batchLabels(),
+		func(ri, ci int) SchedulerSpec {
+			return mqSpec("MQ TL/B", mq.Config{C: 4,
+				Insert: mq.InsertTemporalLocality, PInsertChange: tlProbs[ri].p,
+				Delete: mq.DeleteBatch, BatchDelete: batchSizes[ci]})
+		})
+}
+
+func runFig11(cfg RunConfig) ([]Table, error) {
+	return gridExperiment(cfg, "Figures 11-12 — MQ insert=batch, delete=TL", "batchInsert", batchLabels(), "pdelete", tlLabels(),
+		func(ri, ci int) SchedulerSpec {
+			return mqSpec("MQ B/TL", mq.Config{C: 4,
+				Insert: mq.InsertBatch, BatchInsert: batchSizes[ri],
+				Delete: mq.DeleteTemporalLocality, PDeleteChange: tlProbs[ci].p})
+		})
+}
+
+func runFig13(cfg RunConfig) ([]Table, error) {
+	return gridExperiment(cfg, "Figures 13-14 — MQ insert=batch, delete=batch", "batchInsert", batchLabels(), "batchDelete", batchLabels(),
+		func(ri, ci int) SchedulerSpec {
+			return mqSpec("MQ B/B", mq.Config{C: 4,
+				Insert: mq.InsertBatch, BatchInsert: batchSizes[ri],
+				Delete: mq.DeleteBatch, BatchDelete: batchSizes[ci]})
+		})
+}
+
+// runFig15 compares a representative good configuration of each MQ
+// optimization combination (the paper compares each combo's best).
+func runFig15(cfg RunConfig) ([]Table, error) {
+	cfg.normalize()
+	ws := QuickWorkloads(cfg.Scale)
+	base, err := classicBaselines(ws, cfg.MaxThreads, cfg.Reps, cfg.Validate)
+	if err != nil {
+		return nil, err
+	}
+	combos := []SchedulerSpec{
+		mqSpec("TL/TL", mq.Config{C: 4, Insert: mq.InsertTemporalLocality, PInsertChange: 1.0 / 64,
+			Delete: mq.DeleteTemporalLocality, PDeleteChange: 1.0 / 64}),
+		mqSpec("TL/B", mq.Config{C: 4, Insert: mq.InsertTemporalLocality, PInsertChange: 1.0 / 64,
+			Delete: mq.DeleteBatch, BatchDelete: 8}),
+		mqSpec("B/TL", mq.Config{C: 4, Insert: mq.InsertBatch, BatchInsert: 8,
+			Delete: mq.DeleteTemporalLocality, PDeleteChange: 1.0 / 64}),
+		mqSpec("B/B", mq.Config{C: 4, Insert: mq.InsertBatch, BatchInsert: 8,
+			Delete: mq.DeleteBatch, BatchDelete: 8}),
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Figures 15-16 — MQ optimization combos (speedup/work vs classic MQ, %d threads)", cfg.MaxThreads),
+		Header: []string{"Benchmark", "TL/TL", "TL/B", "B/TL", "B/B"},
+	}
+	for _, w := range ws {
+		b := base[w.Name]
+		row := []string{w.Name}
+		for _, spec := range combos {
+			m, err := Measure(w, spec, cfg.MaxThreads, cfg.Reps, cfg.Validate)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, speedupCell(safeRatio(b.Duration, m.Duration),
+				safeDiv(float64(m.Tasks), float64(b.Tasks))))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
+}
+
+// ---------------------------------------------------------------------------
+// numa: Tables 16-27
+
+func runNUMA(cfg RunConfig) ([]Table, error) {
+	cfg.normalize()
+	ws := QuickWorkloads(cfg.Scale)
+	base, err := classicBaselines(ws, cfg.MaxThreads, cfg.Reps, cfg.Validate)
+	if err != nil {
+		return nil, err
+	}
+	ks := []float64{1, 2, 8, 64, 256, 1024}
+	variants := []struct {
+		name string
+		mk   func(k float64) SchedulerSpec
+	}{
+		{"MQ B/B", func(k float64) SchedulerSpec {
+			return mqSpec("MQ B/B", mq.Config{C: 4, Insert: mq.InsertBatch, BatchInsert: 8,
+				Delete: mq.DeleteBatch, BatchDelete: 8, NUMANodes: 2, NUMAWeightK: k})
+		}},
+		{"MQ TL/TL", func(k float64) SchedulerSpec {
+			return mqSpec("MQ TL/TL", mq.Config{C: 4,
+				Insert: mq.InsertTemporalLocality, PInsertChange: 1.0 / 64,
+				Delete: mq.DeleteTemporalLocality, PDeleteChange: 1.0 / 64,
+				NUMANodes: 2, NUMAWeightK: k})
+		}},
+		{"SMQ heap", func(k float64) SchedulerSpec {
+			return SchedulerSpec{Name: "SMQ", Make: func(workers int) sched.Scheduler[uint32] {
+				return core.NewStealingMQ[uint32](core.Config{Workers: workers,
+					NUMANodes: 2, NUMAWeightK: k})
+			}}
+		}},
+		{"SMQ skiplist", func(k float64) SchedulerSpec {
+			return SchedulerSpec{Name: "SMQ skip", Make: func(workers int) sched.Scheduler[uint32] {
+				return core.NewStealingMQSkipList[uint32](core.Config{Workers: workers,
+					NUMANodes: 2, NUMAWeightK: k})
+			}}
+		}},
+	}
+	var tables []Table
+	for _, v := range variants {
+		t := Table{
+			Title:  fmt.Sprintf("Tables 16-27 — %s with NUMA weight K (cells: speedup/remote-fraction, %d threads, 2 virtual nodes)", v.name, cfg.MaxThreads),
+			Header: append([]string{"Benchmark"}, kLabels(ks)...),
+		}
+		for _, w := range ws {
+			b := base[w.Name]
+			row := []string{w.Name}
+			for _, k := range ks {
+				m, err := Measure(w, v.mk(k), cfg.MaxThreads, cfg.Reps, cfg.Validate)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.2f/%.2f", safeRatio(b.Duration, m.Duration), m.Remote))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func kLabels(ks []float64) []string {
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = fmt.Sprintf("K=%g", k)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// theory: Theorem 1 validation
+
+func runTheory(cfg RunConfig) ([]Table, error) {
+	cfg.normalize()
+	elements := 200000 * cfg.Scale
+
+	// (a) rank vs number of queues.
+	ta := Table{
+		Title:  "Theorem 1(a) — mean removed rank vs queues n (psteal=1/8, B=1)",
+		Header: []string{"n", "MeanRank", "MaxRank", "TheoremBound"},
+	}
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+			Queues: n, Elements: elements, StealProb: 0.125, Batch: 1, Seed: 1})
+		ta.AddRow(fmt.Sprint(n), fm(res.MeanRemovedRank), fmt.Sprint(res.MaxRemovedRank),
+			fm(ranksim.TheoremBound(n, 1, 0.125, 0)))
+	}
+
+	// (b) rank vs stealing probability.
+	tb := Table{
+		Title:  "Theorem 1(b) — mean removed rank vs psteal (n=16, B=1)",
+		Header: []string{"psteal", "MeanRank", "MaxRank", "TheoremBound"},
+	}
+	for _, p := range []float64{0.5, 0.25, 0.125, 0.0625, 0.03125} {
+		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+			Queues: 16, Elements: elements, StealProb: p, Batch: 1, Seed: 2})
+		tb.AddRow(fmt.Sprintf("%.3g", p), fm(res.MeanRemovedRank), fmt.Sprint(res.MaxRemovedRank),
+			fm(ranksim.TheoremBound(16, 1, p, 0)))
+	}
+
+	// (c) rank vs batch size.
+	tc := Table{
+		Title:  "Theorem 1(c) — mean removed rank vs batch B (n=16, psteal=1/8)",
+		Header: []string{"B", "MeanRank", "MaxRank", "TheoremBound"},
+	}
+	for _, b := range []int{1, 2, 4, 8, 16} {
+		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+			Queues: 16, Elements: elements, StealProb: 0.125, Batch: b, Seed: 3})
+		tc.AddRow(fmt.Sprint(b), fm(res.MeanRemovedRank), fmt.Sprint(res.MaxRemovedRank),
+			fm(ranksim.TheoremBound(16, b, 0.125, 0)))
+	}
+
+	// (d) unfair scheduling within the theorem's condition.
+	td := Table{
+		Title:  "Theorem 1(d) — scheduler unfairness γ (n=16, psteal=1/2, B=1)",
+		Header: []string{"gamma", "MeanRank", "MaxRank", "TheoremBound"},
+	}
+	for _, g := range []float64{0, 0.005, 0.015, 0.03} {
+		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+			Queues: 16, Elements: elements, StealProb: 0.5, Batch: 1, Gamma: g, Seed: 4})
+		td.AddRow(fmt.Sprintf("%.3g", g), fm(res.MeanRemovedRank), fmt.Sprint(res.MaxRemovedRank),
+			fm(ranksim.TheoremBound(16, 1, 0.5, g)))
+	}
+
+	// (d2) classic Multi-Queue rank vs queue count. Setting p_steal = 1
+	// makes the Listing-3 process pick a second uniform queue on every
+	// delete and take the better top — exactly the classic Multi-Queue's
+	// two-choice delete — so the same simulator covers the O(m) result
+	// of Alistarh et al. that the paper builds on.
+	tmq := Table{
+		Title:  "Classic Multi-Queue (= SMQ process at psteal=1) — mean removed rank vs m",
+		Header: []string{"m", "MeanRank", "MaxRank", "O(m) reference"},
+	}
+	for _, m := range []int{8, 16, 32, 64} {
+		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+			Queues: m, Elements: elements, StealProb: 1, Batch: 1, Seed: 8})
+		tmq.AddRow(fmt.Sprint(m), fm(res.MeanRemovedRank), fmt.Sprint(res.MaxRemovedRank), fmt.Sprint(m))
+	}
+
+	// (e) continuous SMQ process vs its (1+β) coupling.
+	te := Table{
+		Title:  "Appendix A — continuous SMQ vs (1+β) coupling (n=16, stationary top ranks)",
+		Header: []string{"psteal", "SMQ avg", "SMQ max", "β=p/2 avg", "β=p/2 max"},
+	}
+	for _, p := range []float64{0.5, 0.25, 0.125} {
+		smq := ranksim.RunContinuousSMQ(ranksim.ContinuousConfig{
+			Bins: 16, Steps: 50000 * cfg.Scale, StealProb: p, Seed: 5})
+		beta := ranksim.RunOnePlusBeta(ranksim.ContinuousConfig{
+			Bins: 16, Steps: 50000 * cfg.Scale, Beta: p / 2, Seed: 5})
+		te.AddRow(fmt.Sprintf("%.3g", p), fm(smq.MeanTopAvg), fm(smq.MeanTopMax),
+			fm(beta.MeanTopAvg), fm(beta.MeanTopMax))
+	}
+
+	return []Table{ta, tb, tc, td, tmq, te}, nil
+}

@@ -1,0 +1,503 @@
+// Package mq implements the classic Multi-Queue scheduler (§2.1,
+// Listing 1) and the paper's two optimisations — task batching and
+// temporal locality (§2.1, Appendix C) — in all four insert×delete
+// combinations, plus the RELD (random-enqueue local-dequeue) baseline
+// from Jeffrey et al. [14].
+//
+// The classic Multi-Queue keeps m = C·T sequential heaps, each behind a
+// try-lock. insert picks a uniformly random queue; delete picks two
+// distinct random queues and removes the better top ("power of two
+// choices"), which is what yields the O(m) expected rank bound of
+// Alistarh et al.
+//
+// Temporal locality (policy *TemporalLocality) reuses the previous
+// operation's queue and only re-randomizes with a configured probability;
+// the classic behaviour is the p=1 special case. Task batching (policy
+// *Batch) moves whole batches through a thread-local buffer, trading rank
+// for synchronization. Both match Appendix C's parameter grids.
+package mq
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/numa"
+	"repro/internal/pq"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// InsertPolicy selects how Push chooses target queues.
+type InsertPolicy int
+
+const (
+	// InsertTemporalLocality reuses the last insertion queue and
+	// re-randomizes with probability PInsertChange. PInsertChange = 1
+	// reproduces the classic uniformly-random insert.
+	InsertTemporalLocality InsertPolicy = iota
+	// InsertBatch accumulates BatchInsert tasks in a thread-local buffer
+	// and flushes them to one random queue under a single lock.
+	InsertBatch
+)
+
+// DeletePolicy selects how Pop chooses source queues.
+type DeletePolicy int
+
+const (
+	// DeleteTemporalLocality reuses the last deletion queue and performs
+	// a fresh two-choice pick with probability PDeleteChange.
+	// PDeleteChange = 1 reproduces the classic two-choice delete.
+	DeleteTemporalLocality DeletePolicy = iota
+	// DeleteBatch performs a two-choice pick and extracts BatchDelete
+	// tasks at once into a thread-local buffer.
+	DeleteBatch
+	// DeleteLocal always pops from the worker's own queue block (the
+	// RELD discipline [14]); it falls back to a global sweep when the
+	// local block is empty so tasks cannot strand.
+	DeleteLocal
+)
+
+// Config parameterizes the Multi-Queue family.
+type Config struct {
+	// Workers is the number of worker slots. Required.
+	Workers int
+	// C is the queues-per-worker multiplier; m = C·Workers. Default 4
+	// (the paper's ablation baseline configuration).
+	C int
+	// Insert / Delete select the operation policies (defaults are the
+	// classic random policies via the zero-value + default params).
+	Insert InsertPolicy
+	Delete DeletePolicy
+	// PInsertChange is the probability that a temporal-locality insert
+	// picks a new queue. Default 1 (classic).
+	PInsertChange float64
+	// PDeleteChange is the probability that a temporal-locality delete
+	// performs a fresh two-choice pick. Default 1 (classic).
+	PDeleteChange float64
+	// BatchInsert / BatchDelete are the batch sizes for the batching
+	// policies. Default 8.
+	BatchInsert int
+	BatchDelete int
+	// HeapArity is the per-queue heap fan-out. Default 4.
+	HeapArity int
+	// PeekTops enables the lock-free top-peeking optimization used by
+	// the Galois Multi-Queue: each queue caches its top priority in an
+	// atomic word, and the two-choice delete compares the cached tops
+	// WITHOUT locking both queues, locking only the winner. The cached
+	// top can be momentarily stale — another (benign) relaxation.
+	PeekTops bool
+	// Seed makes runs reproducible.
+	Seed uint64
+	// NUMANodes > 1 enables weighted queue sampling with divisor
+	// NUMAWeightK (§4).
+	NUMANodes   int
+	NUMAWeightK float64
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		panic("mq: Config.Workers must be positive")
+	}
+	if c.C <= 0 {
+		c.C = 4
+	}
+	if c.PInsertChange <= 0 || c.PInsertChange > 1 {
+		c.PInsertChange = 1
+	}
+	if c.PDeleteChange <= 0 || c.PDeleteChange > 1 {
+		c.PDeleteChange = 1
+	}
+	if c.BatchInsert <= 0 {
+		c.BatchInsert = 8
+	}
+	if c.BatchDelete <= 0 {
+		c.BatchDelete = 8
+	}
+	if c.HeapArity < 2 {
+		c.HeapArity = pq.DefaultArity
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NUMAWeightK <= 0 {
+		c.NUMAWeightK = 8
+	}
+}
+
+// Classic returns the configuration of Listing 1: uniformly random
+// insert, two-choice delete, m = C·workers lock-protected heaps.
+func Classic(workers, c int) Config {
+	return Config{Workers: workers, C: c}
+}
+
+// RELD returns the random-enqueue local-dequeue configuration of [14]:
+// one queue per worker, random insert, local delete.
+func RELD(workers int) Config {
+	return Config{Workers: workers, C: 1, Delete: DeleteLocal}
+}
+
+// lockQueue is one of the m sequential heaps behind a try-lock. The
+// cached top is maintained under the lock and read lock-free by the
+// PeekTops delete path.
+type lockQueue[T any] struct {
+	mu   sync.Mutex
+	heap *pq.DHeap[T]
+	top  atomic.Uint64 // cached heap top (InfPriority when empty)
+	_    [24]byte      // separate neighbouring queues' hot words
+}
+
+// The following helpers must be called with q.mu held; they keep the
+// cached top coherent with the heap.
+
+func (q *lockQueue[T]) push(p uint64, v T) {
+	q.heap.Push(p, v)
+	q.top.Store(q.heap.Top())
+}
+
+func (q *lockQueue[T]) pushItem(it pq.Item[T]) {
+	q.heap.PushItem(it)
+	q.top.Store(q.heap.Top())
+}
+
+func (q *lockQueue[T]) pop() (uint64, T, bool) {
+	p, v, ok := q.heap.Pop()
+	q.top.Store(q.heap.Top())
+	return p, v, ok
+}
+
+func (q *lockQueue[T]) popBatch(k int, dst []pq.Item[T]) []pq.Item[T] {
+	dst = q.heap.PopBatch(k, dst)
+	q.top.Store(q.heap.Top())
+	return dst
+}
+
+// MQ is the Multi-Queue scheduler family.
+type MQ[T any] struct {
+	cfg      Config
+	topo     numa.Topology
+	queues   []*lockQueue[T]
+	workers  []mqWorker[T]
+	counters []sched.Counters
+}
+
+// New builds a Multi-Queue with the given configuration.
+func New[T any](cfg Config) *MQ[T] {
+	cfg.normalize()
+	s := &MQ[T]{
+		cfg:      cfg,
+		topo:     numa.New(cfg.Workers, max(cfg.NUMANodes, 1), cfg.C),
+		queues:   make([]*lockQueue[T], cfg.Workers*cfg.C),
+		workers:  make([]mqWorker[T], cfg.Workers),
+		counters: make([]sched.Counters, cfg.Workers),
+	}
+	for i := range s.queues {
+		s.queues[i] = &lockQueue[T]{heap: pq.NewDHeapCap[T](cfg.HeapArity, 64)}
+		s.queues[i].top.Store(pq.InfPriority)
+	}
+	k := 1.0
+	if cfg.NUMANodes > 1 {
+		k = cfg.NUMAWeightK
+	}
+	for i := range s.workers {
+		rng := xrand.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+		s.workers[i] = mqWorker[T]{
+			s:       s,
+			id:      i,
+			rng:     rng,
+			smp:     numa.NewSampler(s.topo, i, k, rng),
+			c:       &s.counters[i],
+			lastIns: -1,
+			lastDel: -1,
+		}
+	}
+	return s
+}
+
+// Workers reports the number of worker slots.
+func (s *MQ[T]) Workers() int { return s.cfg.Workers }
+
+// Worker returns the handle for worker w.
+func (s *MQ[T]) Worker(w int) sched.Worker[T] {
+	if w < 0 || w >= len(s.workers) {
+		panic(fmt.Sprintf("mq: worker index %d out of range [0,%d)", w, len(s.workers)))
+	}
+	return &s.workers[w]
+}
+
+// Stats aggregates counters; call only after workers quiesce.
+func (s *MQ[T]) Stats() sched.Stats {
+	for i := range s.workers {
+		s.counters[i].Remote = s.workers[i].smp.Remote
+	}
+	return sched.SumCounters(s.counters)
+}
+
+// mqWorker is the per-goroutine handle with all thread-local state.
+type mqWorker[T any] struct {
+	s   *MQ[T]
+	id  int
+	rng *xrand.Rand
+	smp *numa.Sampler
+	c   *sched.Counters
+
+	lastIns int // temporal-locality insert queue
+	lastDel int // temporal-locality delete queue
+
+	insBuf []pq.Item[T] // batching insert buffer
+	delBuf []pq.Item[T] // batching delete buffer
+	delIdx int
+}
+
+// Push inserts a task according to the configured insert policy.
+func (w *mqWorker[T]) Push(p uint64, v T) {
+	w.c.Pushes++
+	switch w.s.cfg.Insert {
+	case InsertBatch:
+		w.insBuf = append(w.insBuf, pq.Item[T]{P: p, V: v})
+		if len(w.insBuf) >= w.s.cfg.BatchInsert {
+			w.flushInsertBuffer()
+		}
+	default: // InsertTemporalLocality (classic when PInsertChange == 1)
+		if w.lastIns < 0 || w.rng.Bernoulli(w.s.cfg.PInsertChange) {
+			w.lastIns = w.smp.Sample()
+		}
+		for {
+			q := w.s.queues[w.lastIns]
+			if q.mu.TryLock() {
+				q.push(p, v)
+				q.mu.Unlock()
+				return
+			}
+			w.c.LockFails++
+			w.lastIns = w.smp.Sample()
+		}
+	}
+}
+
+// flushInsertBuffer moves the whole insert batch into one random queue
+// under a single lock acquisition.
+func (w *mqWorker[T]) flushInsertBuffer() {
+	if len(w.insBuf) == 0 {
+		return
+	}
+	for {
+		qi := w.smp.Sample()
+		q := w.s.queues[qi]
+		if !q.mu.TryLock() {
+			w.c.LockFails++
+			continue
+		}
+		for _, it := range w.insBuf {
+			q.pushItem(it)
+		}
+		q.mu.Unlock()
+		clear(w.insBuf)
+		w.insBuf = w.insBuf[:0]
+		return
+	}
+}
+
+// Pop removes a task according to the configured delete policy.
+func (w *mqWorker[T]) Pop() (uint64, T, bool) {
+	p, v, ok := w.popPolicy()
+	if !ok && len(w.insBuf) > 0 {
+		// Our unflushed insert batch may hold the only remaining tasks;
+		// publish it and retry so tasks can never strand (liveness).
+		w.flushInsertBuffer()
+		p, v, ok = w.popPolicy()
+	}
+	if ok {
+		w.c.Pops++
+	} else {
+		w.c.EmptyPops++
+	}
+	return p, v, ok
+}
+
+func (w *mqWorker[T]) popPolicy() (uint64, T, bool) {
+	switch w.s.cfg.Delete {
+	case DeleteBatch:
+		return w.popBatch()
+	case DeleteLocal:
+		return w.popLocal()
+	default:
+		return w.popTemporalLocality()
+	}
+}
+
+// popTemporalLocality reuses the previous queue with probability
+// 1−PDeleteChange; otherwise (and on any miss) it performs the classic
+// two-choice pick.
+func (w *mqWorker[T]) popTemporalLocality() (uint64, T, bool) {
+	if w.lastDel >= 0 && !w.rng.Bernoulli(w.s.cfg.PDeleteChange) {
+		q := w.s.queues[w.lastDel]
+		if q.mu.TryLock() {
+			p, v, ok := q.pop()
+			q.mu.Unlock()
+			if ok {
+				return p, v, true
+			}
+		} else {
+			w.c.LockFails++
+		}
+	}
+	return w.popRandom2(1)
+}
+
+// popBatch refills the thread-local delete buffer with a two-choice batch
+// extraction when empty.
+func (w *mqWorker[T]) popBatch() (uint64, T, bool) {
+	if w.delIdx < len(w.delBuf) {
+		it := w.delBuf[w.delIdx]
+		var zero pq.Item[T]
+		w.delBuf[w.delIdx] = zero
+		w.delIdx++
+		return it.P, it.V, true
+	}
+	return w.popRandom2(w.s.cfg.BatchDelete)
+}
+
+// popLocal implements RELD: always delete from the worker's own queue
+// block; sweep globally only when it is empty.
+func (w *mqWorker[T]) popLocal() (uint64, T, bool) {
+	base := w.id * w.s.cfg.C
+	for off := 0; off < w.s.cfg.C; off++ {
+		q := w.s.queues[base+off]
+		q.mu.Lock()
+		p, v, ok := q.pop()
+		q.mu.Unlock()
+		if ok {
+			return p, v, true
+		}
+	}
+	return w.sweep()
+}
+
+// popRandom2 is Listing 1's delete: lock two distinct random queues,
+// extract batch tasks from the one with the better top. batch == 1 gives
+// the classic single-task delete. After bounded failed attempts it falls
+// back to a full sweep so that spurious emptiness is rare.
+func (w *mqWorker[T]) popRandom2(batch int) (uint64, T, bool) {
+	if w.s.cfg.PeekTops {
+		return w.popRandom2Peek(batch)
+	}
+	m := len(w.s.queues)
+	for attempt := 0; attempt < 4; attempt++ {
+		i1 := w.smp.Sample()
+		i2 := i1
+		if m > 1 {
+			i2 = w.smp.SampleOther(i1)
+		}
+		q1, q2 := w.s.queues[i1], w.s.queues[i2]
+		if !q1.mu.TryLock() {
+			w.c.LockFails++
+			continue
+		}
+		if i2 != i1 && !q2.mu.TryLock() {
+			q1.mu.Unlock()
+			w.c.LockFails++
+			continue
+		}
+		qi, q := i1, q1
+		if i2 != i1 && q2.heap.Top() < q1.heap.Top() {
+			qi, q = i2, q2
+		}
+		var (
+			p  uint64
+			v  T
+			ok bool
+		)
+		if batch <= 1 {
+			p, v, ok = q.pop()
+		} else {
+			w.delBuf = q.popBatch(batch, w.delBuf[:0])
+			w.delIdx = 0
+			if len(w.delBuf) > 0 {
+				it := w.delBuf[0]
+				w.delIdx = 1
+				p, v, ok = it.P, it.V, true
+			}
+		}
+		q1.mu.Unlock()
+		if i2 != i1 {
+			q2.mu.Unlock()
+		}
+		if ok {
+			w.lastDel = qi
+			return p, v, true
+		}
+	}
+	return w.sweep()
+}
+
+// popRandom2Peek is the PeekTops variant of the two-choice delete: it
+// compares the queues' atomically cached tops without taking either
+// lock, then locks only the winner. Staleness of the cached top is a
+// benign extra relaxation (the popped task is still a recent top).
+func (w *mqWorker[T]) popRandom2Peek(batch int) (uint64, T, bool) {
+	m := len(w.s.queues)
+	for attempt := 0; attempt < 4; attempt++ {
+		i1 := w.smp.Sample()
+		i2 := i1
+		if m > 1 {
+			i2 = w.smp.SampleOther(i1)
+		}
+		qi := i1
+		if w.s.queues[i2].top.Load() < w.s.queues[i1].top.Load() {
+			qi = i2
+		}
+		q := w.s.queues[qi]
+		if !q.mu.TryLock() {
+			w.c.LockFails++
+			continue
+		}
+		var (
+			p  uint64
+			v  T
+			ok bool
+		)
+		if batch <= 1 {
+			p, v, ok = q.pop()
+		} else {
+			w.delBuf = q.popBatch(batch, w.delBuf[:0])
+			w.delIdx = 0
+			if len(w.delBuf) > 0 {
+				it := w.delBuf[0]
+				w.delIdx = 1
+				p, v, ok = it.P, it.V, true
+			}
+		}
+		q.mu.Unlock()
+		if ok {
+			w.lastDel = qi
+			return p, v, true
+		}
+	}
+	return w.sweep()
+}
+
+// sweep scans every queue once from a random start, popping the first
+// task found. It returns false only when every queue was observed empty,
+// which makes spurious Pop failures rare (they can still happen — the
+// contract allows it).
+func (w *mqWorker[T]) sweep() (uint64, T, bool) {
+	m := len(w.s.queues)
+	start := w.rng.Intn(m)
+	for off := 0; off < m; off++ {
+		qi := start + off
+		if qi >= m {
+			qi -= m
+		}
+		q := w.s.queues[qi]
+		q.mu.Lock()
+		p, v, ok := q.pop()
+		q.mu.Unlock()
+		if ok {
+			w.lastDel = qi
+			return p, v, true
+		}
+	}
+	var zero T
+	return pq.InfPriority, zero, false
+}

@@ -1,0 +1,340 @@
+package mq
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/pq"
+	"repro/internal/sched"
+)
+
+const pqInf = pq.InfPriority
+
+// configs enumerates representative configurations across the policy
+// matrix (Appendix C's four combinations, the classic queue, and RELD).
+func configs(workers int) map[string]Config {
+	return map[string]Config{
+		"classic":   Classic(workers, 4),
+		"classicC2": Classic(workers, 2),
+		"tl_tl": {Workers: workers, C: 4, Insert: InsertTemporalLocality, Delete: DeleteTemporalLocality,
+			PInsertChange: 1.0 / 64, PDeleteChange: 1.0 / 64},
+		"tl_batch": {Workers: workers, C: 4, Insert: InsertTemporalLocality, Delete: DeleteBatch,
+			PInsertChange: 1.0 / 64, BatchDelete: 8},
+		"batch_tl": {Workers: workers, C: 4, Insert: InsertBatch, Delete: DeleteTemporalLocality,
+			BatchInsert: 8, PDeleteChange: 1.0 / 64},
+		"batch_batch": {Workers: workers, C: 4, Insert: InsertBatch, Delete: DeleteBatch,
+			BatchInsert: 8, BatchDelete: 8},
+		"reld": RELD(workers),
+		"numa": {Workers: workers, C: 4, NUMANodes: 2, NUMAWeightK: 8},
+		"peek": {Workers: workers, C: 4, PeekTops: true},
+		"peek_batch": {Workers: workers, C: 4, PeekTops: true,
+			Delete: DeleteBatch, BatchDelete: 8},
+	}
+}
+
+func TestPeekTopsTracksHeap(t *testing.T) {
+	s := New[int](Config{Workers: 1, C: 1, PeekTops: true})
+	w := s.Worker(0)
+	q := s.queues[0]
+	if q.top.Load() != pqInf {
+		t.Fatalf("empty cached top = %d", q.top.Load())
+	}
+	w.Push(9, 9)
+	w.Push(3, 3)
+	if q.top.Load() != 3 {
+		t.Fatalf("cached top = %d, want 3", q.top.Load())
+	}
+	if p, _, ok := w.Pop(); !ok || p != 3 {
+		t.Fatalf("Pop = (%d,%v)", p, ok)
+	}
+	if q.top.Load() != 9 {
+		t.Fatalf("cached top after pop = %d, want 9", q.top.Load())
+	}
+	w.Pop()
+	if q.top.Load() != pqInf {
+		t.Fatalf("cached top after drain = %d, want inf", q.top.Load())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{Workers: 2}
+	c.normalize()
+	if c.C != 4 || c.PInsertChange != 1 || c.PDeleteChange != 1 || c.BatchInsert != 8 || c.BatchDelete != 8 {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+}
+
+func TestWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Workers=0 did not panic")
+		}
+	}()
+	New[int](Config{})
+}
+
+func TestSingleThreadedDrain(t *testing.T) {
+	// Every configuration must return exactly the pushed multiset.
+	for name, cfg := range configs(1) {
+		s := New[int](cfg)
+		w := s.Worker(0)
+		const n = 2000
+		for i := 0; i < n; i++ {
+			w.Push(uint64((i*7)%501), i)
+		}
+		seen := make([]bool, n)
+		count := 0
+		for {
+			_, v, ok := w.Pop()
+			if !ok {
+				break
+			}
+			if seen[v] {
+				t.Fatalf("%s: value %d popped twice", name, v)
+			}
+			seen[v] = true
+			count++
+		}
+		if count != n {
+			t.Fatalf("%s: popped %d, want %d", name, count, n)
+		}
+	}
+}
+
+func TestClassicApproximatePriorityOrder(t *testing.T) {
+	// Single worker, C=4 → 4 queues. Classic two-choice keeps the rank
+	// small; with a single worker the observed rank error should stay
+	// bounded by a few queue tops. We assert the average rank error is
+	// far below random (which would be ~n/2).
+	s := New[int](Classic(1, 4))
+	w := s.Worker(0)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		w.Push(uint64(i), i)
+	}
+	pos := 0
+	totalErr := 0.0
+	for {
+		p, _, ok := w.Pop()
+		if !ok {
+			break
+		}
+		e := int(p) - pos
+		if e < 0 {
+			e = -e
+		}
+		totalErr += float64(e)
+		pos++
+	}
+	avg := totalErr / n
+	if avg > 64 {
+		t.Fatalf("average rank error %.1f too large for 4 queues", avg)
+	}
+}
+
+func TestNoLostTasksConcurrent(t *testing.T) {
+	for name, cfg := range configs(4) {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			s := New[int](cfg)
+			const perWorker = 4000
+			total := 4 * perWorker
+			var pending sched.Pending
+			pending.Inc(int64(total))
+			seen := make([]int32, total)
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for wid := 0; wid < 4; wid++ {
+				wg.Add(1)
+				go func(wid int) {
+					defer wg.Done()
+					w := s.Worker(wid)
+					for i := 0; i < perWorker; i++ {
+						v := wid*perWorker + i
+						w.Push(uint64(v%883), v)
+					}
+					var b sched.Backoff
+					for !pending.Done() {
+						_, v, ok := w.Pop()
+						if !ok {
+							b.Wait()
+							continue
+						}
+						b.Reset()
+						mu.Lock()
+						seen[v]++
+						mu.Unlock()
+						pending.Dec()
+					}
+				}(wid)
+			}
+			wg.Wait()
+			for v, c := range seen {
+				if c != 1 {
+					t.Fatalf("task %d seen %d times", v, c)
+				}
+			}
+			st := s.Stats()
+			if st.Pushes != uint64(total) || st.Pops != uint64(total) {
+				t.Fatalf("stats %+v, want %d pushes/pops", st, total)
+			}
+		})
+	}
+}
+
+func TestInsertBufferFlushedOnIdle(t *testing.T) {
+	// A worker that pushes fewer tasks than its insert batch size must
+	// still be able to pop them (flush-on-failed-pop liveness).
+	cfg := Config{Workers: 1, C: 2, Insert: InsertBatch, BatchInsert: 64}
+	s := New[int](cfg)
+	w := s.Worker(0)
+	w.Push(5, 50)
+	w.Push(3, 30)
+	got := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		_, v, ok := w.Pop()
+		if !ok {
+			t.Fatalf("Pop %d failed with tasks in insert buffer", i)
+		}
+		got[v] = true
+	}
+	if !got[50] || !got[30] {
+		t.Fatalf("wrong tasks: %v", got)
+	}
+	if _, _, ok := w.Pop(); ok {
+		t.Fatal("Pop after drain returned ok")
+	}
+}
+
+func TestDeleteBatchOrdering(t *testing.T) {
+	// With one queue (C=1, one worker) and delete batching, the batch is
+	// extracted in priority order.
+	cfg := Config{Workers: 1, C: 1, Delete: DeleteBatch, BatchDelete: 4}
+	s := New[int](cfg)
+	w := s.Worker(0)
+	for i := 10; i >= 1; i-- {
+		w.Push(uint64(i), i)
+	}
+	var got []uint64
+	for {
+		p, _, ok := w.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	if len(got) != 10 {
+		t.Fatalf("popped %d", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("single-queue batch delete out of order: %v", got)
+	}
+}
+
+func TestRELDDeletesLocally(t *testing.T) {
+	// RELD workers prefer their own queue: with 2 workers, worker 0
+	// pushing into its own queue should mostly pop its own tasks. Since
+	// inserts are random, we instead verify the configuration drains
+	// correctly and uses DeleteLocal (no 2-choice lock pairs needed).
+	s := New[int](RELD(2))
+	w0, w1 := s.Worker(0), s.Worker(1)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		w0.Push(uint64(i), i)
+	}
+	count := 0
+	for {
+		_, _, ok0 := w0.Pop()
+		if ok0 {
+			count++
+		}
+		_, _, ok1 := w1.Pop()
+		if ok1 {
+			count++
+		}
+		if !ok0 && !ok1 {
+			break
+		}
+	}
+	if count != n {
+		t.Fatalf("drained %d, want %d", count, n)
+	}
+}
+
+func TestLockFailCounting(t *testing.T) {
+	// Force contention on a single queue: many workers, C such that m=1
+	// is impossible (m = C*workers), so use workers=4, C=1 and hammer.
+	cfg := Config{Workers: 4, C: 1}
+	s := New[int](cfg)
+	var wg sync.WaitGroup
+	for wid := 0; wid < 4; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := s.Worker(wid)
+			for i := 0; i < 20000; i++ {
+				w.Push(uint64(i), i)
+				w.Pop()
+			}
+		}(wid)
+	}
+	wg.Wait()
+	// Contention on 4 queues with 4 workers: lock failures are likely
+	// but not guaranteed; just verify counters are consistent.
+	st := s.Stats()
+	if st.Pushes != 80000 {
+		t.Fatalf("Pushes = %d", st.Pushes)
+	}
+	if st.Pops+st.EmptyPops < 80000 {
+		t.Fatalf("Pops+EmptyPops = %d", st.Pops+st.EmptyPops)
+	}
+}
+
+func TestTemporalLocalityReusesQueue(t *testing.T) {
+	// With PInsertChange tiny and a single worker, consecutive inserts
+	// should land in the same queue: drain order from that one queue via
+	// popTL with PDeleteChange=0-ish must be globally sorted.
+	cfg := Config{Workers: 1, C: 8,
+		Insert: InsertTemporalLocality, PInsertChange: 1e-9,
+		Delete: DeleteTemporalLocality, PDeleteChange: 1e-9}
+	s := New[int](cfg)
+	w := s.Worker(0)
+	for i := 100; i >= 1; i-- {
+		w.Push(uint64(i), i)
+	}
+	var got []uint64
+	for {
+		p, _, ok := w.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	if len(got) != 100 {
+		t.Fatalf("drained %d", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("temporal-locality single queue should drain sorted, got %v", got[:10])
+	}
+}
+
+func TestStatsRemoteWiring(t *testing.T) {
+	cfg := Config{Workers: 4, C: 2, NUMANodes: 2, NUMAWeightK: 4}
+	s := New[int](cfg)
+	w := s.Worker(0)
+	for i := 0; i < 1000; i++ {
+		w.Push(uint64(i), i)
+	}
+	for i := 0; i < 1000; i++ {
+		w.Pop()
+	}
+	st := s.Stats()
+	if st.Pops != 1000 {
+		t.Fatalf("Pops = %d", st.Pops)
+	}
+	// With K=4 and 2 nodes the remote ratio should be well under half.
+	if st.Remote*3 > st.Pushes+2*st.Pops {
+		t.Logf("remote=%d (informational)", st.Remote)
+	}
+}

@@ -1,0 +1,36 @@
+package mq
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/benchutil"
+)
+
+func BenchmarkThroughput_Classic(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchutil.Throughput(b, New[int](Classic(workers, 4)), 1<<12)
+		})
+	}
+}
+
+func BenchmarkThroughput_BatchBatch(b *testing.B) {
+	benchutil.Throughput(b, New[int](Config{Workers: 4, C: 4,
+		Insert: InsertBatch, BatchInsert: 8,
+		Delete: DeleteBatch, BatchDelete: 8}), 1<<12)
+}
+
+func BenchmarkThroughput_TemporalLocality(b *testing.B) {
+	benchutil.Throughput(b, New[int](Config{Workers: 4, C: 4,
+		Insert: InsertTemporalLocality, PInsertChange: 1.0 / 64,
+		Delete: DeleteTemporalLocality, PDeleteChange: 1.0 / 64}), 1<<12)
+}
+
+func BenchmarkThroughput_PeekTops(b *testing.B) {
+	benchutil.Throughput(b, New[int](Config{Workers: 4, C: 4, PeekTops: true}), 1<<12)
+}
+
+func BenchmarkThroughput_RELD(b *testing.B) {
+	benchutil.Throughput(b, New[int](RELD(4)), 1<<12)
+}

@@ -1,0 +1,16 @@
+package obim
+
+import (
+	"testing"
+
+	"repro/internal/benchutil"
+)
+
+func BenchmarkThroughput_OBIM(b *testing.B) {
+	benchutil.Throughput(b, New[int](Config{Workers: 4, Delta: 8, ChunkSize: 32}), 1<<12)
+}
+
+func BenchmarkThroughput_PMOD(b *testing.B) {
+	benchutil.Throughput(b, New[int](Config{Workers: 4, Delta: 8, ChunkSize: 32,
+		Adaptive: true, AdaptInterval: 1024}), 1<<12)
+}

@@ -1,0 +1,123 @@
+package pq
+
+// PairingHeap is a sequential pairing heap. It is provided as an
+// alternative local-queue structure for the ablation study of the SMQ's
+// "optimal local data structure" investigation (§4): pairing heaps have
+// O(1) amortized insert, which can win on insert-heavy workloads, at the
+// cost of pointer chasing on extract.
+type PairingHeap[T any] struct {
+	root *pairingNode[T]
+	n    int
+	// free is a small freelist to reduce allocator pressure in the
+	// scheduler hot path.
+	free *pairingNode[T]
+}
+
+type pairingNode[T any] struct {
+	item    Item[T]
+	child   *pairingNode[T]
+	sibling *pairingNode[T]
+}
+
+// NewPairingHeap returns an empty pairing heap.
+func NewPairingHeap[T any]() *PairingHeap[T] { return &PairingHeap[T]{} }
+
+// Len reports the number of queued tasks.
+func (h *PairingHeap[T]) Len() int { return h.n }
+
+// Top returns the minimum priority, or InfPriority when empty.
+func (h *PairingHeap[T]) Top() uint64 {
+	if h.root == nil {
+		return InfPriority
+	}
+	return h.root.item.P
+}
+
+// Push inserts a task.
+func (h *PairingHeap[T]) Push(p uint64, v T) {
+	node := h.alloc()
+	node.item = Item[T]{P: p, V: v}
+	h.root = meld(h.root, node)
+	h.n++
+}
+
+// Pop removes and returns the minimum-priority task.
+func (h *PairingHeap[T]) Pop() (p uint64, v T, ok bool) {
+	if h.root == nil {
+		return InfPriority, v, false
+	}
+	top := h.root.item
+	old := h.root
+	h.root = mergePairs(h.root.child)
+	h.release(old)
+	h.n--
+	return top.P, top.V, true
+}
+
+// PopBatch removes up to k minimum-priority tasks in priority order,
+// appending them to dst.
+func (h *PairingHeap[T]) PopBatch(k int, dst []Item[T]) []Item[T] {
+	for i := 0; i < k; i++ {
+		p, v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, Item[T]{P: p, V: v})
+	}
+	return dst
+}
+
+// Clear removes all tasks. The node pool is discarded.
+func (h *PairingHeap[T]) Clear() {
+	h.root = nil
+	h.free = nil
+	h.n = 0
+}
+
+func (h *PairingHeap[T]) alloc() *pairingNode[T] {
+	if h.free != nil {
+		node := h.free
+		h.free = node.sibling
+		node.sibling = nil
+		return node
+	}
+	return &pairingNode[T]{}
+}
+
+func (h *PairingHeap[T]) release(node *pairingNode[T]) {
+	var zero Item[T]
+	node.item = zero
+	node.child = nil
+	node.sibling = h.free
+	h.free = node
+}
+
+func meld[T any](a, b *pairingNode[T]) *pairingNode[T] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.item.P < a.item.P {
+		a, b = b, a
+	}
+	b.sibling = a.child
+	a.child = b
+	return a
+}
+
+// mergePairs implements the standard two-pass pairing combine.
+func mergePairs[T any](first *pairingNode[T]) *pairingNode[T] {
+	if first == nil || first.sibling == nil {
+		return first
+	}
+	a := first
+	b := first.sibling
+	rest := b.sibling
+	a.sibling = nil
+	b.sibling = nil
+	return meld(meld(a, b), mergePairs(rest))
+}
+
+var _ Queue[int] = (*PairingHeap[int])(nil)

@@ -1,0 +1,37 @@
+// Package pq provides the sequential priority-queue building blocks used
+// by every scheduler in this repository.
+//
+// Throughout the module, priorities are uint64 values where a LOWER value
+// means a HIGHER priority (distance-like semantics, matching the SSSP/BFS/
+// A* workloads of the paper). The paper's SMQ uses sequential d-ary heaps
+// (d = 4) as thread-local queues (§4); the classic Multi-Queue wraps one
+// sequential heap per lock-protected queue (§2.1, Listing 1).
+package pq
+
+import "math"
+
+// InfPriority is the priority reported for empty queues: no real task may
+// use it. It compares greater than (i.e. worse than) every valid priority.
+const InfPriority = math.MaxUint64
+
+// Item is a prioritized task: a priority paired with an opaque value.
+type Item[T any] struct {
+	P uint64 // priority; lower is better
+	V T      // payload
+}
+
+// Queue is the minimal sequential priority-queue interface shared by the
+// heap implementations in this package. Implementations are NOT safe for
+// concurrent use; schedulers add their own synchronization.
+type Queue[T any] interface {
+	// Push inserts a task.
+	Push(p uint64, v T)
+	// Pop removes and returns the minimum-priority task.
+	// ok is false when the queue is empty.
+	Pop() (p uint64, v T, ok bool)
+	// Top returns the minimum priority without removing it, or
+	// InfPriority when empty.
+	Top() uint64
+	// Len reports the number of queued tasks.
+	Len() int
+}

@@ -1,0 +1,190 @@
+package ranksim
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// ContinuousConfig parameterizes the balls-into-bins coupling of
+// Appendix A: n bins whose ball labels form exponential processes (bin i
+// has label gaps Exp with rate π_i·n, so busier threads hold denser
+// bins), with SMQ-style or (1+β)-style removals.
+type ContinuousConfig struct {
+	Bins      int     // n
+	Steps     int     // removal steps
+	StealProb float64 // p_steal (SMQ process)
+	Beta      float64 // β ((1+β)-choice process)
+	Batch     int     // B labels removed per step
+	Gamma     float64 // scheduler unfairness γ
+	Seed      uint64
+	// SampleEvery sets the sampling period; default Steps/64.
+	SampleEvery int
+}
+
+func (c *ContinuousConfig) normalize() {
+	if c.Bins <= 0 {
+		panic("ranksim: Bins must be positive")
+	}
+	if c.Steps <= 0 {
+		c.Steps = 100000
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = c.Steps/64 + 1
+	}
+}
+
+// ContinuousResult aggregates rank statistics of the label process. The
+// rank of a label x is the expected number of labels smaller than x still
+// present: sum_j max(0, x − ℓ_j)·rate_j, with ℓ_j the top label of bin j.
+type ContinuousResult struct {
+	Samples []Sample
+	// MeanTopAvg / MeanTopMax average the per-sample statistics over the
+	// second half of the run (the stationary regime Theorem 1 describes).
+	MeanTopAvg float64
+	MeanTopMax float64
+}
+
+// RunContinuousSMQ simulates the continuous SMQ removal process: pick a
+// "local" bin from π; with probability p_steal compare against a second,
+// uniformly random bin and take from the lower top label; advance the
+// chosen bin's top by B exponential gaps.
+func RunContinuousSMQ(cfg ContinuousConfig) ContinuousResult {
+	cfg.normalize()
+	rng := xrand.New(cfg.Seed)
+	pi := Pi(cfg.Bins, cfg.Gamma)
+	cum := cumulative(pi)
+	rates := make([]float64, cfg.Bins)
+	for i, p := range pi {
+		rates[i] = p * float64(cfg.Bins) // uniform => rate 1
+	}
+	tops := initialTops(rates, rng)
+
+	step := func() {
+		i := sampleCum(cum, rng)
+		src := i
+		if cfg.StealProb > 0 && rng.Bernoulli(cfg.StealProb) {
+			j := rng.Intn(cfg.Bins)
+			if tops[j] < tops[i] {
+				src = j
+			}
+		}
+		advance(tops, rates, src, cfg.Batch, rng)
+	}
+	return runContinuous(cfg, tops, rates, step)
+}
+
+// RunOnePlusBeta simulates the classic (1+β)-choice process on the same
+// label dynamics: with probability β remove from the better of two
+// uniform bins, otherwise from one uniform bin.
+func RunOnePlusBeta(cfg ContinuousConfig) ContinuousResult {
+	cfg.normalize()
+	rng := xrand.New(cfg.Seed)
+	rates := make([]float64, cfg.Bins)
+	for i := range rates {
+		rates[i] = 1
+	}
+	tops := initialTops(rates, rng)
+
+	step := func() {
+		i := rng.Intn(cfg.Bins)
+		src := i
+		if cfg.Beta > 0 && rng.Bernoulli(cfg.Beta) {
+			j := rng.Intn(cfg.Bins)
+			if tops[j] < tops[i] {
+				src = j
+			}
+		}
+		advance(tops, rates, src, cfg.Batch, rng)
+	}
+	return runContinuous(cfg, tops, rates, step)
+}
+
+func initialTops(rates []float64, rng *xrand.Rand) []float64 {
+	tops := make([]float64, len(rates))
+	for i := range tops {
+		// First ball's label is one gap above zero.
+		tops[i] = rng.ExpFloat64() / rates[i]
+	}
+	return tops
+}
+
+func advance(tops, rates []float64, src, batch int, rng *xrand.Rand) {
+	for b := 0; b < batch; b++ {
+		tops[src] += rng.ExpFloat64() / rates[src]
+	}
+}
+
+func runContinuous(cfg ContinuousConfig, tops, rates []float64, step func()) ContinuousResult {
+	res := ContinuousResult{}
+	half := cfg.Steps / 2
+	count := 0
+	for t := 0; t < cfg.Steps; t++ {
+		step()
+		if t%cfg.SampleEvery == 0 {
+			s := continuousSample(tops, rates, t)
+			res.Samples = append(res.Samples, s)
+			if t >= half {
+				res.MeanTopAvg += s.AvgTopRank
+				res.MeanTopMax += float64(s.MaxTopRank)
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		res.MeanTopAvg /= float64(count)
+		res.MeanTopMax /= float64(count)
+	}
+	return res
+}
+
+// continuousSample computes expected ranks of the bins' top labels.
+func continuousSample(tops, rates []float64, step int) Sample {
+	s := Sample{Step: step}
+	sum := 0.0
+	maxRank := 0.0
+	for i := range tops {
+		r := expectedRank(tops, rates, tops[i])
+		sum += r
+		if r > maxRank {
+			maxRank = r
+		}
+	}
+	s.AvgTopRank = sum / float64(len(tops))
+	s.MaxTopRank = int(maxRank)
+	return s
+}
+
+// expectedRank is the expected number of present labels below x: bins are
+// exponential processes, so bin j holds (x − ℓ_j)·rate_j expected labels
+// in (ℓ_j, x) when x > ℓ_j.
+func expectedRank(tops, rates []float64, x float64) float64 {
+	total := 0.0
+	for j := range tops {
+		if d := x - tops[j]; d > 0 {
+			total += d * rates[j]
+		}
+	}
+	return total
+}
+
+// TheoremBound evaluates Theorem 1's expected average rank scaling
+// nB(1+γ)/p_steal · log((1+γ)/p_steal) (up to constants), used by the
+// `theory` experiment for side-by-side reporting.
+func TheoremBound(n, batch int, stealProb, gamma float64) float64 {
+	if stealProb <= 0 {
+		return float64(n*batch) * 1e9 // no guarantee without stealing
+	}
+	ratio := (1 + gamma) / stealProb
+	l := math.Log(ratio)
+	if l < 1 {
+		l = 1
+	}
+	return float64(n*batch) * ratio * l
+}

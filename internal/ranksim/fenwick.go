@@ -1,0 +1,33 @@
+package ranksim
+
+// Fenwick is a binary indexed tree over [0, n) used to compute element
+// ranks in the discrete SMQ process: present elements contribute 1, and
+// the rank of a value is the count of smaller present values.
+type Fenwick struct {
+	tree []int
+}
+
+// NewFenwick returns a tree of size n with all counts zero.
+func NewFenwick(n int) *Fenwick {
+	return &Fenwick{tree: make([]int, n+1)}
+}
+
+// Add adds delta at index i (0-based).
+func (f *Fenwick) Add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// PrefixSum returns the sum over [0, i] (0-based, inclusive).
+// PrefixSum(-1) is 0.
+func (f *Fenwick) PrefixSum(i int) int {
+	total := 0
+	for i++; i > 0; i -= i & (-i) {
+		total += f.tree[i]
+	}
+	return total
+}
+
+// RankOf returns the number of present elements strictly smaller than v.
+func (f *Fenwick) RankOf(v int) int { return f.PrefixSum(v - 1) }

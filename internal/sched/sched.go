@@ -1,0 +1,139 @@
+// Package sched defines the interfaces and shared plumbing implemented by
+// every priority scheduler in this repository: the Stealing Multi-Queue
+// (internal/core), the classic Multi-Queue family and RELD (internal/mq),
+// OBIM/PMOD (internal/obim) and the SprayList (internal/spray).
+//
+// # Model
+//
+// A Scheduler is created for a fixed number of workers. Each worker
+// goroutine obtains its own Worker handle once, up front, and then uses
+// only that handle; handles carry all thread-local state (local queues,
+// stolen-task buffers, insert/delete batches, RNG) and are not safe for
+// concurrent use. This mirrors the paper's thread-affinity model without
+// requiring OS-thread pinning.
+//
+// # Relaxation contract
+//
+// Pop is allowed to be relaxed in two ways: it may return a task that is
+// not the global minimum (bounded in expectation by the paper's rank
+// theorems for SMQ), and it may return ok=false even though tasks exist
+// elsewhere (they may be buried in another worker's local buffer).
+// Algorithms therefore must not treat a single failed Pop as termination;
+// see the Pending counter.
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Worker is a per-goroutine handle into a scheduler.
+// Priorities are uint64 with lower = higher priority.
+type Worker[T any] interface {
+	// Push inserts a task.
+	Push(p uint64, v T)
+	// Pop removes some high-priority task. ok=false means this worker
+	// found no task right now; it does NOT imply global emptiness.
+	Pop() (p uint64, v T, ok bool)
+}
+
+// Scheduler is a relaxed concurrent priority scheduler for a fixed set of
+// workers.
+type Scheduler[T any] interface {
+	// Workers reports the number of worker slots.
+	Workers() int
+	// Worker returns the handle for worker w in [0, Workers()).
+	// Each handle must be claimed by exactly one goroutine.
+	Worker(w int) Worker[T]
+	// Stats aggregates per-worker counters. It must only be called once
+	// all worker goroutines have quiesced (e.g. after a WaitGroup join).
+	Stats() Stats
+}
+
+// Stats aggregates scheduler-level counters across workers. All counts are
+// totals since scheduler creation.
+type Stats struct {
+	Pushes     uint64 // tasks inserted
+	Pops       uint64 // tasks successfully removed
+	EmptyPops  uint64 // Pop calls that returned ok=false
+	Steals     uint64 // successful steal operations (batches, not tasks)
+	StolenTask uint64 // tasks obtained via stealing
+	StealFails uint64 // steal attempts that found nothing to take
+	LockFails  uint64 // failed try-lock acquisitions (lock-based schedulers)
+	Remote     uint64 // queue accesses to a different (virtual) NUMA node
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Pushes += other.Pushes
+	s.Pops += other.Pops
+	s.EmptyPops += other.EmptyPops
+	s.Steals += other.Steals
+	s.StolenTask += other.StolenTask
+	s.StealFails += other.StealFails
+	s.LockFails += other.LockFails
+	s.Remote += other.Remote
+}
+
+// Counters is the per-worker, unsynchronized statistics block. Workers
+// update their own Counters without atomics (each is owned by a single
+// goroutine); Stats() reads them after quiescence. The struct is padded
+// to a multiple of the cache line size so adjacent workers' counters do
+// not false-share.
+type Counters struct {
+	Stats
+	_ [64 - (8*8)%64]byte // pad Stats (8 uint64 fields) to a 64B multiple
+}
+
+// SumCounters aggregates a slice of per-worker counters.
+func SumCounters(cs []Counters) Stats {
+	var total Stats
+	for i := range cs {
+		total.Add(cs[i].Stats)
+	}
+	return total
+}
+
+// Pending counts in-flight tasks for termination detection: algorithms
+// increment before pushing a task and decrement after fully processing a
+// popped task (including its follow-on pushes). The schedulers themselves
+// never touch it. When Pending reaches zero no task exists anywhere — not
+// in a queue, not in a local buffer, not being executed — so workers may
+// exit.
+type Pending struct {
+	n atomic.Int64
+}
+
+// Inc registers delta new in-flight tasks.
+func (p *Pending) Inc(delta int64) { p.n.Add(delta) }
+
+// Dec retires one in-flight task.
+func (p *Pending) Dec() { p.n.Add(-1) }
+
+// Load returns the current in-flight count.
+func (p *Pending) Load() int64 { return p.n.Load() }
+
+// Done reports whether no tasks remain anywhere.
+func (p *Pending) Done() bool { return p.n.Load() == 0 }
+
+// Backoff is a bounded exponential spin/yield backoff used by worker
+// loops when Pop fails but Pending is nonzero. The zero value is ready.
+type Backoff struct {
+	spins int
+}
+
+// Wait performs one backoff step.
+func (b *Backoff) Wait() {
+	b.spins++
+	if b.spins < 8 {
+		// A few busy spins: another worker is likely mid-push.
+		for i := 0; i < 1<<b.spins; i++ {
+			_ = i
+		}
+		return
+	}
+	runtime.Gosched()
+}
+
+// Reset clears the backoff after a successful Pop.
+func (b *Backoff) Reset() { b.spins = 0 }

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Pushes: 1, Pops: 2, EmptyPops: 3, Steals: 4, StolenTask: 5, StealFails: 6, LockFails: 7, Remote: 8}
+	b := Stats{Pushes: 10, Pops: 20, EmptyPops: 30, Steals: 40, StolenTask: 50, StealFails: 60, LockFails: 70, Remote: 80}
+	a.Add(b)
+	want := Stats{Pushes: 11, Pops: 22, EmptyPops: 33, Steals: 44, StolenTask: 55, StealFails: 66, LockFails: 77, Remote: 88}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestSumCounters(t *testing.T) {
+	cs := make([]Counters, 4)
+	for i := range cs {
+		cs[i].Pushes = uint64(i + 1)
+		cs[i].Pops = uint64(2 * (i + 1))
+	}
+	got := SumCounters(cs)
+	if got.Pushes != 10 || got.Pops != 20 {
+		t.Fatalf("SumCounters = %+v", got)
+	}
+}
+
+func TestCountersCacheLinePadding(t *testing.T) {
+	sz := unsafe.Sizeof(Counters{})
+	if sz%64 != 0 {
+		t.Fatalf("Counters size %d is not a multiple of 64", sz)
+	}
+}
+
+func TestPendingLifecycle(t *testing.T) {
+	var p Pending
+	if !p.Done() {
+		t.Fatal("fresh Pending not Done")
+	}
+	p.Inc(3)
+	if p.Done() || p.Load() != 3 {
+		t.Fatalf("after Inc(3): Load=%d Done=%v", p.Load(), p.Done())
+	}
+	p.Dec()
+	p.Dec()
+	p.Dec()
+	if !p.Done() {
+		t.Fatal("Pending not Done after matching Decs")
+	}
+}
+
+func TestPendingConcurrent(t *testing.T) {
+	var p Pending
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Inc(1)
+				p.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if !p.Done() {
+		t.Fatalf("Pending = %d after balanced concurrent updates", p.Load())
+	}
+}
+
+func TestBackoffProgresses(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 100; i++ {
+		b.Wait() // must not hang or panic
+	}
+	b.Reset()
+	if b.spins != 0 {
+		t.Fatal("Reset did not clear spins")
+	}
+}

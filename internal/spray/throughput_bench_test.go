@@ -1,0 +1,11 @@
+package spray
+
+import (
+	"testing"
+
+	"repro/internal/benchutil"
+)
+
+func BenchmarkThroughput_SprayList(b *testing.B) {
+	benchutil.Throughput(b, New[int](Config{Workers: 4}), 1<<12)
+}

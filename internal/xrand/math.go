@@ -1,0 +1,7 @@
+package xrand
+
+import "math"
+
+// mathLog is math.Log, isolated so xrand.go stays free of direct imports
+// in its hot-path file.
+func mathLog(x float64) float64 { return math.Log(x) }

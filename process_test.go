@@ -1,0 +1,64 @@
+package smq_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	smq "repro"
+)
+
+func TestProcessVisitsEveryTask(t *testing.T) {
+	s := smq.NewStealingMQ[int](smq.SMQConfig{Workers: 4})
+	const n = 5000
+	var visited atomic.Int64
+	smq.Process(s,
+		func(w smq.Worker[int]) {
+			for i := 0; i < n; i++ {
+				w.Push(uint64(i), i)
+			}
+		},
+		func(_ int, _ smq.Worker[int], _ *smq.Pending, _ uint64, _ int) {
+			visited.Add(1)
+		})
+	if visited.Load() != n {
+		t.Fatalf("visited %d tasks, want %d", visited.Load(), n)
+	}
+}
+
+func TestProcessFollowOnTasks(t *testing.T) {
+	// A binary expansion: each task below the cutoff spawns two children;
+	// the total must be exactly 2^(depth+1)-1.
+	s := smq.NewStealingMQ[uint32](smq.SMQConfig{Workers: 4})
+	const depth = 12
+	var visited atomic.Int64
+	smq.Process(s,
+		func(w smq.Worker[uint32]) {
+			w.Push(0, 1) // root at id 1, level = bit length
+		},
+		func(_ int, w smq.Worker[uint32], pending *smq.Pending, p uint64, id uint32) {
+			visited.Add(1)
+			if id < 1<<depth {
+				pending.Inc(1)
+				w.Push(p+1, id*2)
+				pending.Inc(1)
+				w.Push(p+1, id*2+1)
+			}
+		})
+	want := int64(1<<(depth+1)) - 1
+	if visited.Load() != want {
+		t.Fatalf("visited %d nodes, want %d", visited.Load(), want)
+	}
+}
+
+func TestProcessEmptySeed(t *testing.T) {
+	s := smq.NewStealingMQ[int](smq.SMQConfig{Workers: 2})
+	done := false
+	smq.Process(s,
+		func(w smq.Worker[int]) {},
+		func(_ int, _ smq.Worker[int], _ *smq.Pending, _ uint64, _ int) {
+			done = true
+		})
+	if done {
+		t.Fatal("callback fired with no tasks")
+	}
+}

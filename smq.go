@@ -1,0 +1,302 @@
+// Package smq is a Go implementation of the Stealing Multi-Queue (SMQ),
+// the relaxed concurrent priority scheduler of Postnikova, Koval,
+// Nadiradze and Alistarh, "Multi-Queues Can Be State-of-the-Art Priority
+// Schedulers" (PPoPP 2022), together with every scheduler the paper
+// evaluates against (classic Multi-Queue and its batching / temporal-
+// locality variants, RELD, OBIM, PMOD, SprayList), the graph workloads of
+// its evaluation, and the analytical rank model of its Theorem 1.
+//
+// # Priorities
+//
+// All schedulers order tasks by a uint64 priority where LOWER means
+// HIGHER priority, matching distance-driven workloads such as Dijkstra's
+// algorithm. Priority pq-style ties are broken arbitrarily.
+//
+// # Workers
+//
+// A Scheduler is created for a fixed number of workers. Each worker
+// goroutine claims its handle once via Worker(i) and uses only that
+// handle; handles carry thread-local state (local queues, steal buffers,
+// batching buffers) and must not be shared:
+//
+//	s := smq.NewStealingMQ[string](smq.SMQConfig{Workers: 4})
+//	var wg sync.WaitGroup
+//	for i := 0; i < 4; i++ {
+//		wg.Add(1)
+//		go func(i int) {
+//			defer wg.Done()
+//			w := s.Worker(i)
+//			w.Push(10, "hello")
+//			if p, v, ok := w.Pop(); ok { _ = v; _ = p }
+//		}(i)
+//	}
+//	wg.Wait()
+//
+// # Relaxation
+//
+// Pop may return a task that is not the global minimum — for the SMQ the
+// expected rank of the returned task is bounded (Theorem 1) — and may
+// spuriously report emptiness while tasks sit in other workers' local
+// buffers. Algorithms built on these schedulers track in-flight work
+// with a Pending counter; see the SSSP and other drivers in this package
+// for the canonical pattern.
+package smq
+
+import (
+	"sync"
+
+	"repro/internal/algos"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mq"
+	"repro/internal/obim"
+	"repro/internal/ranksim"
+	"repro/internal/sched"
+	"repro/internal/spray"
+)
+
+// Scheduler is a relaxed concurrent priority scheduler; see the package
+// documentation for the worker-handle protocol.
+type Scheduler[T any] = sched.Scheduler[T]
+
+// Worker is a per-goroutine scheduler handle.
+type Worker[T any] = sched.Worker[T]
+
+// Stats aggregates scheduler counters (pushes, pops, steals, lock
+// failures, remote accesses).
+type Stats = sched.Stats
+
+// Pending is the in-flight task counter used for termination detection
+// with relaxed schedulers.
+type Pending = sched.Pending
+
+// Backoff is a bounded spin/yield backoff for worker retry loops.
+type Backoff = sched.Backoff
+
+// SMQConfig configures the Stealing Multi-Queue (defaults: StealSize 4,
+// StealProb 1/8, 4-ary heaps — the paper's default configuration).
+type SMQConfig = core.Config
+
+// MQConfig configures the classic Multi-Queue family, including the task
+// batching and temporal-locality optimisations.
+type MQConfig = mq.Config
+
+// OBIMConfig configures the OBIM and PMOD baselines.
+type OBIMConfig = obim.Config
+
+// SprayConfig configures the SprayList baseline.
+type SprayConfig = spray.Config
+
+// Multi-Queue policy selectors, re-exported for MQConfig.
+const (
+	InsertTemporalLocality = mq.InsertTemporalLocality
+	InsertBatch            = mq.InsertBatch
+	DeleteTemporalLocality = mq.DeleteTemporalLocality
+	DeleteBatch            = mq.DeleteBatch
+	DeleteLocal            = mq.DeleteLocal
+)
+
+// NewStealingMQ builds the paper's headline scheduler: thread-local d-ary
+// heaps with stealing buffers (§2.2, §4).
+func NewStealingMQ[T any](cfg SMQConfig) Scheduler[T] {
+	return core.NewStealingMQ[T](cfg)
+}
+
+// NewStealingMQSkipList builds the SMQ variant with concurrent skip lists
+// as local queues (§4, Appendix D).
+func NewStealingMQSkipList[T any](cfg SMQConfig) Scheduler[T] {
+	return core.NewStealingMQSkipList[T](cfg)
+}
+
+// NewMultiQueue builds a Multi-Queue with explicit configuration
+// (classic, batching and temporal-locality policies; §2.1, Appendix C).
+func NewMultiQueue[T any](cfg MQConfig) Scheduler[T] {
+	return mq.New[T](cfg)
+}
+
+// NewClassicMultiQueue builds Listing 1's Multi-Queue: m = c·workers
+// lock-protected heaps, random insert, two-choice delete.
+func NewClassicMultiQueue[T any](workers, c int) Scheduler[T] {
+	return mq.New[T](mq.Classic(workers, c))
+}
+
+// NewRELD builds the random-enqueue local-dequeue baseline of Jeffrey et
+// al., evaluated in §5.
+func NewRELD[T any](workers int) Scheduler[T] {
+	return mq.New[T](mq.RELD(workers))
+}
+
+// NewOBIM builds the Galois OBIM baseline (priority bags keyed by
+// priority >> delta, chunked per virtual node).
+func NewOBIM[T any](cfg OBIMConfig) Scheduler[T] {
+	return obim.New[T](cfg)
+}
+
+// NewPMOD builds OBIM with PMOD's dynamic delta adaptation.
+func NewPMOD[T any](cfg OBIMConfig) Scheduler[T] {
+	cfg.Adaptive = true
+	return obim.New[T](cfg)
+}
+
+// NewSprayList builds the SprayList baseline.
+func NewSprayList[T any](cfg SprayConfig) Scheduler[T] {
+	return spray.New[T](cfg)
+}
+
+// Process runs one goroutine per scheduler worker and invokes fn for
+// every task until no work remains. It owns the termination protocol:
+// fn receives the worker handle to push follow-on tasks and MUST call
+// pending.Inc(1) before each Push; Process decrements once per processed
+// task. seed enqueues the initial tasks through worker 0 (pending is
+// incremented for them automatically).
+//
+//	smq.Process(s, func(w smq.Worker[uint32]) {
+//	    w.Push(0, root) // seed
+//	}, func(wid int, w smq.Worker[uint32], pending *smq.Pending, p uint64, v uint32) {
+//	    for _, next := range expand(v) {
+//	        pending.Inc(1)
+//	        w.Push(next.Priority, next.Value)
+//	    }
+//	})
+func Process[T any](
+	s Scheduler[T],
+	seed func(w Worker[T]),
+	fn func(wid int, w Worker[T], pending *Pending, p uint64, v T),
+) {
+	var pending Pending
+	w0 := s.Worker(0)
+	seedCounter := countingWorker[T]{inner: w0, pending: &pending}
+	seed(&seedCounter)
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < s.Workers(); wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := s.Worker(wid)
+			var b Backoff
+			for {
+				p, v, ok := w.Pop()
+				if !ok {
+					if pending.Done() {
+						return
+					}
+					b.Wait()
+					continue
+				}
+				b.Reset()
+				fn(wid, w, &pending, p, v)
+				pending.Dec()
+			}
+		}(wid)
+	}
+	wg.Wait()
+}
+
+// countingWorker wraps a Worker so that seed pushes register themselves
+// with the pending counter.
+type countingWorker[T any] struct {
+	inner   Worker[T]
+	pending *Pending
+}
+
+func (c *countingWorker[T]) Push(p uint64, v T) {
+	c.pending.Inc(1)
+	c.inner.Push(p, v)
+}
+
+func (c *countingWorker[T]) Pop() (uint64, T, bool) { return c.inner.Pop() }
+
+// ---------------------------------------------------------------------------
+// Graphs
+
+// Graph is a directed weighted graph in CSR form.
+type Graph = graph.CSR
+
+// GraphEdge is an edge for BuildGraph.
+type GraphEdge = graph.Edge
+
+// Coord is a planar vertex coordinate (enables the A* heuristic).
+type Coord = graph.Coord
+
+// BuildGraph assembles a CSR graph from an edge list; coords may be nil.
+func BuildGraph(n int, edges []GraphEdge, coords []Coord) (*Graph, error) {
+	return graph.Build(n, edges, coords)
+}
+
+// GenerateRoadGrid builds a road-network-like planar graph with
+// coordinates and admissible A* weights (the paper's USA/WEST stand-in).
+func GenerateRoadGrid(rows, cols int, seed uint64) *Graph {
+	return graph.GenerateRoadGrid(rows, cols, seed)
+}
+
+// GenerateRMAT builds a power-law RMAT graph with uniform [0,255] weights
+// (the paper's TWITTER/WEB stand-in).
+func GenerateRMAT(scale, edgeFactor int, seed uint64) *Graph {
+	return graph.GenerateRMAT(scale, edgeFactor, graph.DefaultRMATParams(), seed)
+}
+
+// ---------------------------------------------------------------------------
+// Algorithms
+
+// Result reports a parallel run's task accounting (total, wasted) and
+// duration.
+type Result = algos.Result
+
+// Unreachable is the distance reported for unreachable vertices.
+const Unreachable = algos.Unreachable
+
+// SSSP computes single-source shortest paths using the given scheduler.
+func SSSP(g *Graph, src uint32, s Scheduler[uint32]) ([]uint64, Result) {
+	return algos.SSSP(g, src, s)
+}
+
+// BFS computes hop distances using the given scheduler.
+func BFS(g *Graph, src uint32, s Scheduler[uint32]) ([]uint64, Result) {
+	return algos.BFS(g, src, s)
+}
+
+// AStar computes the src→target distance with the coordinate heuristic.
+func AStar(g *Graph, src, target uint32, s Scheduler[uint32]) (uint64, Result) {
+	return algos.AStar(g, src, target, s)
+}
+
+// BoruvkaMST computes the minimum spanning forest weight and edge count.
+func BoruvkaMST(g *Graph, s Scheduler[uint32]) (uint64, int, Result) {
+	return algos.BoruvkaMST(g, s)
+}
+
+// PageRankConfig configures ResidualPageRank.
+type PageRankConfig = algos.PageRankConfig
+
+// ResidualPageRank computes PageRank by prioritized residual propagation.
+func ResidualPageRank(g *Graph, cfg PageRankConfig, s Scheduler[uint32]) ([]float64, Result) {
+	return algos.ResidualPageRank(g, cfg, s)
+}
+
+// DijkstraSeq is the sequential shortest-path baseline.
+func DijkstraSeq(g *Graph, src uint32) []uint64 {
+	dist, _ := algos.DijkstraSeq(g, src)
+	return dist
+}
+
+// ---------------------------------------------------------------------------
+// Theory
+
+// RankModelConfig configures the §3 discrete SMQ rank model.
+type RankModelConfig = ranksim.DiscreteConfig
+
+// RankModelResult is the measured rank statistics of a model run.
+type RankModelResult = ranksim.Result
+
+// RunRankModel simulates the sequential SMQ process of the paper's
+// analysis and reports removed-element rank statistics (Theorem 1).
+func RunRankModel(cfg RankModelConfig) RankModelResult {
+	return ranksim.RunDiscrete(cfg)
+}
+
+// RankTheoremBound evaluates Theorem 1's scaling for the expected
+// average rank: O(nB(1+γ)/p · log((1+γ)/p)).
+func RankTheoremBound(queues, batch int, stealProb, gamma float64) float64 {
+	return ranksim.TheoremBound(queues, batch, stealProb, gamma)
+}

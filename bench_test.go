@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/emq"
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/mq"
@@ -275,6 +276,47 @@ func BenchmarkFig15_MQ_Best(b *testing.B) {
 		cfg := cfg
 		b.Run(name, func(b *testing.B) {
 			benchSSSP(b, func() sched.Scheduler[uint32] { return mq.New[uint32](cfg) }, road)
+		})
+	}
+}
+
+// --- Engineered MultiQueue (Williams et al. 2021) -------------------------
+
+// BenchmarkEMQ_Ablation sweeps the engineered MultiQueue's two
+// engineering knobs — stickiness period and operation-buffer capacity —
+// on SSSP (the `emq` experiment's axes). The stick=1/buf=1 corner
+// degenerates to the classic per-operation Multi-Queue discipline.
+func BenchmarkEMQ_Ablation(b *testing.B) {
+	road, _ := benchGraphs()
+	for _, stick := range []int{1, 16, 64} {
+		for _, buf := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("stick=%d/buf=%d", stick, buf), func(b *testing.B) {
+				benchSSSP(b, func() sched.Scheduler[uint32] {
+					return emq.New[uint32](emq.Config{Workers: benchWorkers,
+						Stickiness: stick, InsertBuffer: buf, DeleteBuffer: buf})
+				}, road)
+			})
+		}
+	}
+}
+
+// BenchmarkEMQ_Throughput compares the engineered MultiQueue's default
+// configuration against the classic MQ and the SMQ on both graph shapes
+// (the EMQ series added to the Figure 2 comparison).
+func BenchmarkEMQ_Throughput(b *testing.B) {
+	road, rmat := benchGraphs()
+	specs := []harness.SchedulerSpec{
+		harness.EMQSpec("EMQ", 16, 16, 0),
+		{Name: "MQ Classic", Make: harness.ClassicMQBaseline},
+		harness.SMQSpec("SMQ", 4, 1.0/8, 0),
+	}
+	for _, spec := range specs {
+		spec := spec
+		b.Run("SSSP_road/"+spec.Name, func(b *testing.B) {
+			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, road)
+		})
+		b.Run("SSSP_rmat/"+spec.Name, func(b *testing.B) {
+			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, rmat)
 		})
 	}
 }

@@ -4,12 +4,15 @@
 //
 //	smqbench -list
 //	smqbench -exp fig2 -scale 1 -threads 1,2,4 -reps 3
+//	smqbench -exp emq -scale 1
 //	smqbench -exp all -format tsv > results.tsv
 //
 // Every experiment prints the same row/series structure as the paper
 // artifact it reproduces (speedups and work increases per cell); see
 // DESIGN.md §4 for the experiment ↔ artifact mapping and EXPERIMENTS.md
-// for recorded paper-vs-measured comparisons.
+// for recorded paper-vs-measured comparisons. The emq experiment covers
+// the engineered MultiQueue follow-up baseline (Williams et al. 2021)
+// with its stickiness × buffer-size grid.
 package main
 
 import (

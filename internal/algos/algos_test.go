@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/emq"
 	"repro/internal/graph"
 	"repro/internal/mq"
 	"repro/internal/obim"
@@ -44,6 +45,13 @@ func schedulers(workers int) map[string]func() sched.Scheduler[uint32] {
 		},
 		"spray": func() sched.Scheduler[uint32] {
 			return spray.New[uint32](spray.Config{Workers: workers})
+		},
+		"emq": func() sched.Scheduler[uint32] {
+			return emq.New[uint32](emq.Config{Workers: workers})
+		},
+		"emq_unbuffered": func() sched.Scheduler[uint32] {
+			return emq.New[uint32](emq.Config{Workers: workers,
+				Stickiness: 1, InsertBuffer: 1, DeleteBuffer: 1})
 		},
 	}
 }

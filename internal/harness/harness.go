@@ -11,6 +11,7 @@ import (
 	"repro/internal/algos"
 	"repro/internal/coarse"
 	"repro/internal/core"
+	"repro/internal/emq"
 	"repro/internal/graph"
 	"repro/internal/mq"
 	"repro/internal/obim"
@@ -184,11 +185,15 @@ type SchedulerSpec struct {
 	Make   func(workers int) sched.Scheduler[uint32]
 }
 
-// StandardSchedulers is the Figure 2 lineup: SMQ default + tuned, the
+// StandardSchedulers is the Figure 2 lineup — SMQ default + tuned, the
 // skip-list SMQ, the optimized NUMA-aware classic MQ, OBIM, PMOD,
-// SprayList and RELD.
+// SprayList and RELD — extended with the engineered MultiQueue of
+// Williams et al. (2021) as an additional comparison series.
 func StandardSchedulers() []SchedulerSpec {
 	return []SchedulerSpec{
+		// The first four entries are the headline lineup; root benchmarks
+		// slice them with [:4], so new series must be appended after
+		// "MQ Classic" below.
 		SMQSpec("SMQ (Default)", 4, 1.0/8, 0),
 		SMQSpec("SMQ (Tuned)", 8, 1.0/4, 0),
 		{
@@ -215,6 +220,7 @@ func StandardSchedulers() []SchedulerSpec {
 				return mq.New[uint32](mq.Classic(workers, 4))
 			},
 		},
+		EMQSpec("EMQ", 16, 16, 0),
 		OBIMSpec("OBIM", 10, 64, false),
 		OBIMSpec("PMOD", 10, 64, true),
 		{
@@ -256,6 +262,23 @@ func SMQSpec(name string, stealSize int, stealProb float64, numaNodes int) Sched
 		Make: func(workers int) sched.Scheduler[uint32] {
 			return core.NewStealingMQ[uint32](core.Config{
 				Workers: workers, StealSize: stealSize, StealProb: stealProb,
+				NUMANodes: numaNodes,
+			})
+		},
+	}
+}
+
+// EMQSpec builds an engineered-MultiQueue spec with the given stickiness
+// period and operation-buffer capacity (used for both the insertion and
+// the deletion buffer, as in the emq ablation grid).
+func EMQSpec(name string, stickiness, buffer, numaNodes int) SchedulerSpec {
+	return SchedulerSpec{
+		Name:   name,
+		Params: fmt.Sprintf("stick=%d buf=%d numa=%d", stickiness, buffer, numaNodes),
+		Make: func(workers int) sched.Scheduler[uint32] {
+			return emq.New[uint32](emq.Config{
+				Workers: workers, Stickiness: stickiness,
+				InsertBuffer: buffer, DeleteBuffer: buffer,
 				NUMANodes: numaNodes,
 			})
 		},

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// emqRankErrorBound documents the rank-quality envelope we hold the
+// engineered MultiQueue to in lockstep (γ=0) mode. The EMQ's relaxation
+// comes from three multiplicative sources: the two-choice sampling over
+// m = C·workers queues (expected displacement O(m), as for the classic
+// Multi-Queue), the deletion buffer (a refill locks in a run of up to
+// DeleteBuffer tasks, delaying cross-queue re-comparison), and
+// stickiness (up to Stickiness operations reuse a stale queue pair).
+// The product m·DeleteBuffer·Stickiness bounds the window of tasks a
+// worker can run ahead of the global minimum; the constant in front is
+// empirical headroom (measured lockstep means sit well below a tenth of
+// this at the probe's scale — see TestRankErrorRegression).
+func emqRankErrorBound(workers, c, deleteBuffer, stickiness int) float64 {
+	return float64(c*workers) * float64(deleteBuffer) * float64(stickiness)
+}
+
+// TestRankErrorRegression pins the relative rank quality of the
+// scheduler lineup on a fixed-seed lockstep workload so future scheduler
+// refactors cannot silently destroy it:
+//
+//   - the EMQ's mean rank error must be finite and inside the documented
+//     emqRankErrorBound envelope;
+//   - the SMQ's mean rank error at steal batch B=1 must stay at or
+//     below the classic Multi-Queue's. B=1 is the apples-to-apples
+//     comparison: both schedulers then remove a single task per
+//     two-choice decision, so the assertion compares the sampling
+//     disciplines rather than batching (Theorem 1's bound scales
+//     linearly in B; at the default B=4 the lockstep rank error is
+//     legitimately ~4× the B=1 value and can exceed the classic MQ's).
+//
+// ProbeRankLockstep is deterministic for a fixed spec (single goroutine,
+// seeded RNGs), so the assertions are stable.
+func TestRankErrorRegression(t *testing.T) {
+	const (
+		workers = 4
+		tasks   = 20000
+	)
+
+	const (
+		emqStick = 16
+		emqBuf   = 16
+		emqC     = 2 // emq.Config default
+	)
+	emqStats := ProbeRankLockstep(EMQSpec("EMQ", emqStick, emqBuf, 0), workers, tasks)
+	if math.IsNaN(emqStats.MeanDisplacement) || math.IsInf(emqStats.MeanDisplacement, 0) {
+		t.Fatalf("EMQ mean rank error is not finite: %v", emqStats.MeanDisplacement)
+	}
+	bound := emqRankErrorBound(workers, emqC, emqBuf, emqStick)
+	if emqStats.MeanDisplacement > bound {
+		t.Errorf("EMQ mean rank error %.2f exceeds documented bound %.0f",
+			emqStats.MeanDisplacement, bound)
+	}
+	if emqStats.MeanDisplacement <= 0 {
+		t.Errorf("EMQ mean rank error %.2f should be positive (it is a relaxed queue)",
+			emqStats.MeanDisplacement)
+	}
+
+	smqStats := ProbeRankLockstep(SMQSpec("SMQ", 1, 1.0/8, 0), workers, tasks)
+	mqStats := ProbeRankLockstep(SchedulerSpec{Name: "MQ Classic", Make: ClassicMQBaseline},
+		workers, tasks)
+	if smqStats.MeanDisplacement > mqStats.MeanDisplacement {
+		t.Errorf("SMQ mean rank error %.2f exceeds classic MQ's %.2f",
+			smqStats.MeanDisplacement, mqStats.MeanDisplacement)
+	}
+
+	t.Logf("lockstep mean rank error: EMQ=%.2f (bound %.0f) SMQ=%.2f MQ=%.2f",
+		emqStats.MeanDisplacement, bound, smqStats.MeanDisplacement, mqStats.MeanDisplacement)
+}

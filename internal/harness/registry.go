@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/emq"
 	"repro/internal/mq"
 	"repro/internal/ranksim"
 	"repro/internal/sched"
@@ -63,6 +64,7 @@ func Registry() []Experiment {
 		{ID: "fig11", Paper: "Figures 11-12, Tables 8-9", Desc: "MQ insert=batch × delete=TL grid", Run: runFig11},
 		{ID: "fig13", Paper: "Figures 13-14, Tables 10-11", Desc: "MQ insert=batch × delete=batch grid", Run: runFig13},
 		{ID: "fig15", Paper: "Figures 15-16", Desc: "best MQ optimization combinations side by side", Run: runFig15},
+		{ID: "emq", Paper: "Williams et al. 2021 (follow-up baseline)", Desc: "engineered MultiQueue stickiness × buffer-size ablation", Run: runEMQ},
 		{ID: "numa", Paper: "Tables 16-27", Desc: "NUMA weight K sweep for MQ and SMQ variants", Run: runNUMA},
 		{ID: "theory", Paper: "Theorem 1 (§3)", Desc: "rank bounds of the SMQ process vs the (1+β) coupling", Run: runTheory},
 		{ID: "rankprobe", Paper: "§5 (wasted-work mechanism)", Desc: "empirical rank relaxation of every scheduler implementation", Run: runRankProbe},
@@ -466,6 +468,33 @@ func runFig15(cfg RunConfig) ([]Table, error) {
 }
 
 // ---------------------------------------------------------------------------
+// emq: engineered MultiQueue ablation (Williams et al. 2021)
+
+// emqStickiness and emqBuffers span the two engineering knobs of the
+// engineered MultiQueue. Stickiness 1 with buffer 1 degenerates to the
+// classic per-operation Multi-Queue discipline, so the grid's corner
+// doubles as a sanity anchor against the classic-MQ baseline.
+var (
+	emqStickiness = []int{1, 4, 16, 64}
+	emqBuffers    = []int{1, 4, 16, 64}
+)
+
+func runEMQ(cfg RunConfig) ([]Table, error) {
+	rows := make([]string, len(emqStickiness))
+	for i, s := range emqStickiness {
+		rows[i] = fmt.Sprint(s)
+	}
+	cols := make([]string, len(emqBuffers))
+	for i, b := range emqBuffers {
+		cols[i] = fmt.Sprint(b)
+	}
+	return gridExperiment(cfg, "Engineered MultiQueue — Williams et al. 2021", "stickiness", rows, "buffer", cols,
+		func(ri, ci int) SchedulerSpec {
+			return EMQSpec("EMQ", emqStickiness[ri], emqBuffers[ci], 0)
+		})
+}
+
+// ---------------------------------------------------------------------------
 // numa: Tables 16-27
 
 func runNUMA(cfg RunConfig) ([]Table, error) {
@@ -499,6 +528,12 @@ func runNUMA(cfg RunConfig) ([]Table, error) {
 		{"SMQ skiplist", func(k float64) SchedulerSpec {
 			return SchedulerSpec{Name: "SMQ skip", Make: func(workers int) sched.Scheduler[uint32] {
 				return core.NewStealingMQSkipList[uint32](core.Config{Workers: workers,
+					NUMANodes: 2, NUMAWeightK: k})
+			}}
+		}},
+		{"EMQ", func(k float64) SchedulerSpec {
+			return SchedulerSpec{Name: "EMQ", Make: func(workers int) sched.Scheduler[uint32] {
+				return emq.New[uint32](emq.Config{Workers: workers,
 					NUMANodes: 2, NUMAWeightK: k})
 			}}
 		}},

@@ -6,6 +6,13 @@
 // locality variants, RELD, OBIM, PMOD, SprayList), the graph workloads of
 // its evaluation, and the analytical rank model of its Theorem 1.
 //
+// Beyond the paper's own lineup, the package also provides the engineered
+// MultiQueue (EMQ) of Williams, Sanders and Dementiev, "Engineering
+// MultiQueues: Fast Relaxed Concurrent Priority Queues" (2021) — the
+// strongest published Multi-Queue follow-up, which augments the classic
+// design with queue stickiness and insertion/deletion buffers; see
+// NewEngineeredMQ and EMQConfig.
+//
 // # Priorities
 //
 // All schedulers order tasks by a uint64 priority where LOWER means
@@ -47,6 +54,7 @@ import (
 
 	"repro/internal/algos"
 	"repro/internal/core"
+	"repro/internal/emq"
 	"repro/internal/graph"
 	"repro/internal/mq"
 	"repro/internal/obim"
@@ -80,6 +88,11 @@ type SMQConfig = core.Config
 // MQConfig configures the classic Multi-Queue family, including the task
 // batching and temporal-locality optimisations.
 type MQConfig = mq.Config
+
+// EMQConfig configures the engineered MultiQueue of Williams et al.
+// (queue stickiness and insertion/deletion buffers over m = C·Workers
+// lock-protected heaps).
+type EMQConfig = emq.Config
 
 // OBIMConfig configures the OBIM and PMOD baselines.
 type OBIMConfig = obim.Config
@@ -124,6 +137,14 @@ func NewClassicMultiQueue[T any](workers, c int) Scheduler[T] {
 // al., evaluated in §5.
 func NewRELD[T any](workers int) Scheduler[T] {
 	return mq.New[T](mq.RELD(workers))
+}
+
+// NewEngineeredMQ builds the engineered MultiQueue of Williams, Sanders
+// and Dementiev (2021): the classic Multi-Queue layout extended with
+// sticky queue indices that persist for a configurable number of
+// operations and with bounded per-worker insertion/deletion buffers.
+func NewEngineeredMQ[T any](cfg EMQConfig) Scheduler[T] {
+	return emq.New[T](cfg)
 }
 
 // NewOBIM builds the Galois OBIM baseline (priority bags keyed by

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/algos"
 	"repro/internal/core"
 	"repro/internal/emq"
 	"repro/internal/graph"
@@ -319,6 +320,95 @@ func BenchmarkEMQ_Throughput(b *testing.B) {
 			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, rmat)
 		})
 	}
+}
+
+// --- Geometric workloads (k-NN graph construction, Euclidean MST) ---------
+
+const (
+	benchPointCount = 10000
+	benchKNN        = 8
+)
+
+var (
+	benchPointsOnce sync.Once
+	benchPtsUniform *PointSet
+	benchPtsGauss   *PointSet
+)
+
+func benchPoints() (*PointSet, *PointSet) {
+	benchPointsOnce.Do(func() {
+		benchPtsUniform = GenerateUniformPoints(benchPointCount, 2, 46)
+		benchPtsGauss = GenerateGaussianClusters(benchPointCount, 2, 16, 0.02, 47)
+	})
+	return benchPtsUniform, benchPtsGauss
+}
+
+// BenchmarkGeom_KNNGraph measures parallel k-NN graph construction —
+// the first non-CSR workload family — for the headline schedulers on
+// both point distributions.
+func BenchmarkGeom_KNNGraph(b *testing.B) {
+	uniform, gauss := benchPoints()
+	for _, spec := range harness.StandardSchedulers()[:4] {
+		spec := spec
+		for _, tc := range []struct {
+			name string
+			ps   *PointSet
+		}{{"uniform", uniform}, {"gauss", gauss}} {
+			b.Run(tc.name+"/"+spec.Name, func(b *testing.B) {
+				b.ReportAllocs()
+				var tasks uint64
+				for i := 0; i < b.N; i++ {
+					_, res := KNNGraph(tc.ps, benchKNN, spec.Make(benchWorkers))
+					tasks += res.Tasks
+				}
+				b.ReportMetric(float64(tasks)/float64(b.N), "tasks/op")
+			})
+		}
+	}
+}
+
+// BenchmarkGeom_EMST measures the exact Euclidean MST (k-NN candidates
+// + Boruvka contraction with the widen-radius fallback) end to end.
+func BenchmarkGeom_EMST(b *testing.B) {
+	uniform, gauss := benchPoints()
+	wantUW, _ := EuclideanMSTSeq(uniform)
+	wantGW, _ := EuclideanMSTSeq(gauss)
+	for _, spec := range harness.StandardSchedulers()[:4] {
+		spec := spec
+		for _, tc := range []struct {
+			name string
+			ps   *PointSet
+			want uint64
+		}{{"uniform", uniform, wantUW}, {"gauss", gauss, wantGW}} {
+			b.Run(tc.name+"/"+spec.Name, func(b *testing.B) {
+				var tasks uint64
+				for i := 0; i < b.N; i++ {
+					w, _, res := EuclideanMST(tc.ps, benchKNN, spec.Make(benchWorkers))
+					if w != tc.want {
+						b.Fatalf("EMST weight %d, want %d", w, tc.want)
+					}
+					tasks += res.Tasks
+				}
+				b.ReportMetric(float64(tasks)/float64(b.N), "tasks/op")
+			})
+		}
+	}
+}
+
+// BenchmarkGeom_SeqBaselines records the sequential reference costs the
+// parallel geometric runs are compared against.
+func BenchmarkGeom_SeqBaselines(b *testing.B) {
+	uniform, _ := benchPoints()
+	b.Run("KNNGraphSeq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			algos.KNNGraphSeq(uniform, benchKNN)
+		}
+	})
+	b.Run("PrimEMSTSeq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			algos.PrimEMSTSeq(uniform)
+		}
+	})
 }
 
 // --- Tables 16-27 --------------------------------------------------------

@@ -5,6 +5,7 @@
 //	smqbench -list
 //	smqbench -exp fig2 -scale 1 -threads 1,2,4 -reps 3
 //	smqbench -exp emq -scale 1
+//	smqbench -exp geom -scale 2 -maxthreads 4 -format tsv
 //	smqbench -exp all -format tsv > results.tsv
 //
 // Every experiment prints the same row/series structure as the paper
@@ -12,7 +13,12 @@
 // DESIGN.md §4 for the experiment ↔ artifact mapping and EXPERIMENTS.md
 // for recorded paper-vs-measured comparisons. The emq experiment covers
 // the engineered MultiQueue follow-up baseline (Williams et al. 2021)
-// with its stickiness × buffer-size grid.
+// with its stickiness × buffer-size grid. The geom experiment runs the
+// geometric workload family — parallel k-NN graph construction and
+// exact Euclidean MST over generated point sets (uniform cube, Gaussian
+// clusters) — across the full scheduler lineup, one TSV row per
+// scheduler × distribution; Euclidean MST results are always verified
+// against the sequential O(n^2) Prim baseline.
 package main
 
 import (

@@ -1,0 +1,117 @@
+package algos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// testPointSets covers the regular and degenerate geometric inputs:
+// uniform, clustered, duplicate-heavy, collinear, and n < k.
+func testPointSets() map[string]*geom.PointSet {
+	duplicates := &geom.PointSet{Dim: 2}
+	for i := 0; i < 90; i++ {
+		x := float64(i % 30)
+		duplicates.Coords = append(duplicates.Coords, x*0.04, x*0.02)
+	}
+	collinear := &geom.PointSet{Dim: 2}
+	for i := 0; i < 64; i++ {
+		t := float64(i) * 0.015
+		collinear.Coords = append(collinear.Coords, t, 3*t)
+	}
+	return map[string]*geom.PointSet{
+		"uniform":   geom.UniformCube(400, 2, 21),
+		"uniform3d": geom.UniformCube(250, 3, 22),
+		"gauss":     geom.GaussianClusters(300, 2, 6, 0.015, 23),
+		"dups":      duplicates,
+		"collinear": collinear,
+		"tiny":      geom.UniformCube(5, 2, 24), // n < k below
+	}
+}
+
+const testK = 8
+
+func TestKNNGraphMatchesSequentialAllSchedulers(t *testing.T) {
+	for pname, ps := range testPointSets() {
+		want, _ := KNNGraphSeq(ps, testK)
+		for sname, mk := range schedulers(4) {
+			got, res := KNNGraph(ps, testK, mk())
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%s: parallel k-NN graph differs from sequential reference", pname, sname)
+			}
+			if res.Tasks < uint64(ps.N()) {
+				t.Fatalf("%s/%s: %d tasks for %d vertices", pname, sname, res.Tasks, ps.N())
+			}
+		}
+	}
+}
+
+func TestEuclideanMSTMatchesPrimAllSchedulers(t *testing.T) {
+	for pname, ps := range testPointSets() {
+		wantW, wantE := PrimEMSTSeq(ps)
+		for sname, mk := range schedulers(4) {
+			gotW, gotE, res := EuclideanMST(ps, testK, mk())
+			if gotW != wantW || gotE != wantE {
+				t.Fatalf("%s/%s: EMST = (%d, %d), want (%d, %d)", pname, sname, gotW, gotE, wantW, wantE)
+			}
+			if ps.N() > 1 && res.Tasks == 0 {
+				t.Fatalf("%s/%s: no tasks recorded", pname, sname)
+			}
+		}
+	}
+}
+
+func TestEuclideanMSTDegenerateSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		ps := geom.UniformCube(n, 2, uint64(31+n))
+		wantW, wantE := PrimEMSTSeq(ps)
+		gotW, gotE, _ := EuclideanMST(ps, 4, schedulers(2)["smq"]())
+		if gotW != wantW || gotE != wantE {
+			t.Fatalf("n=%d: EMST = (%d, %d), want (%d, %d)", n, gotW, gotE, wantW, wantE)
+		}
+		if wantE != max(0, n-1) {
+			t.Fatalf("n=%d: Prim edge count %d", n, wantE)
+		}
+	}
+}
+
+func TestKNNGraphDegenerateSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		ps := geom.UniformCube(n, 2, uint64(41+n))
+		want, _ := KNNGraphSeq(ps, 4)
+		got, _ := KNNGraph(ps, 4, schedulers(2)["mq_classic"]())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: parallel k-NN graph differs from sequential", n)
+		}
+		if want.N != n || want.M() != n*max(0, n-1) {
+			t.Fatalf("n=%d: unexpected shape |V|=%d |E|=%d", n, want.N, want.M())
+		}
+	}
+}
+
+// TestKNNGraphStructure sanity-checks the k-NN graph invariants the
+// EMST phase relies on: out-degree min(k, n-1), rows sorted by weight,
+// and first neighbor = nearest point.
+func TestKNNGraphStructure(t *testing.T) {
+	ps := geom.UniformCube(200, 2, 51)
+	g, _ := KNNGraphSeq(ps, testK)
+	for u := 0; u < g.N; u++ {
+		ts, ws := g.Neighbors(uint32(u))
+		if len(ts) != testK {
+			t.Fatalf("vertex %d has out-degree %d, want %d", u, len(ts), testK)
+		}
+		for i := 1; i < len(ws); i++ {
+			if ws[i] < ws[i-1] {
+				t.Fatalf("vertex %d: weights not sorted", u)
+			}
+		}
+		nearest := geom.BruteKNN(ps, u, 1)
+		if ts[0] != uint32(nearest[0].Idx) {
+			t.Fatalf("vertex %d: first neighbor %d, want %d", u, ts[0], nearest[0].Idx)
+		}
+	}
+	if g.Coords == nil {
+		t.Fatal("2-dimensional point sets should carry coordinates")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/pq"
 )
@@ -160,6 +161,80 @@ func KruskalMST(g *graph.CSR) (uint64, int) {
 		count++
 	}
 	return total, count
+}
+
+// KNNGraphSeq is the sequential reference for KNNGraph: one kd-tree
+// k-NN query per vertex. Both produce the same deterministic CSR
+// (neighbors sorted by distance then index, geom.Weight edge weights),
+// so parallel runs can be compared structurally, and Tasks = n gives
+// the work-increase baseline.
+func KNNGraphSeq(ps *geom.PointSet, k int) (*graph.CSR, SeqResult) {
+	n := ps.N()
+	if k > n-1 {
+		k = n - 1
+	}
+	rows := make([][]geom.Neighbor, n)
+	if n > 0 && k > 0 {
+		tree := geom.NewKDTree(ps)
+		var buf []geom.Neighbor
+		for i := 0; i < n; i++ {
+			buf = tree.KNN(ps.At(i), k, int32(i), buf)
+			rows[i] = append([]geom.Neighbor(nil), buf...)
+		}
+	}
+	return knnCSR(ps, rows), SeqResult{Tasks: uint64(n)}
+}
+
+// PrimEMSTSeq is the exact sequential baseline for EuclideanMST: O(n^2)
+// Prim over the implicit complete graph with geom.Weight-quantized edge
+// weights, returning total weight and edge count (n-1 for n >= 1).
+// Because every minimum spanning tree of a weighted graph has the same
+// total weight, the parallel EMST must match both values exactly.
+func PrimEMSTSeq(ps *geom.PointSet) (uint64, int) {
+	n := ps.N()
+	if n <= 1 {
+		return 0, 0
+	}
+	const unvisited = uint32(math.MaxUint32)
+	bestW := make([]uint32, n)
+	inTree := make([]bool, n)
+	for i := range bestW {
+		bestW[i] = unvisited
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		bestW[j] = geom.Weight(ps.Dist2(0, j))
+	}
+	total := uint64(0)
+	for added := 1; added < n; added++ {
+		next, nextW := -1, unvisited
+		for j := 0; j < n; j++ {
+			if !inTree[j] && bestW[j] < nextW {
+				next, nextW = j, bestW[j]
+			}
+		}
+		if next < 0 {
+			// unvisited is MaxUint32, which geom.Weight can legitimately
+			// produce for saturating distances; fall back to the first
+			// out-of-tree vertex so such edges still get added.
+			for j := 0; j < n; j++ {
+				if !inTree[j] {
+					next, nextW = j, bestW[j]
+					break
+				}
+			}
+		}
+		inTree[next] = true
+		total += uint64(nextW)
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if w := geom.Weight(ps.Dist2(next, j)); w < bestW[j] {
+					bestW[j] = w
+				}
+			}
+		}
+	}
+	return total, n - 1
 }
 
 // PageRankSeq runs the same residual-push PageRank sequentially with a

@@ -275,11 +275,16 @@ func (w *smqWorker[T]) Pop() (uint64, T, bool) {
 		w.c.Pops++
 		return p, v, true
 	}
-	// Local queue exhausted: scan for any victim with work.
-	for try := 0; try < w.s.cfg.StealTries; try++ {
-		if p, v, ok := w.stealFrom(w.randomVictim(), false); ok {
-			w.c.Pops++
-			return p, v, true
+	// Local queue exhausted: scan for any victim with work. With a
+	// single worker there is no victim to scan — randomVictim would
+	// return our own id and every stealFrom would be a guaranteed no-op,
+	// so skip straight to the failure report.
+	if w.s.cfg.Workers > 1 {
+		for try := 0; try < w.s.cfg.StealTries; try++ {
+			if p, v, ok := w.stealFrom(w.randomVictim(), false); ok {
+				w.c.Pops++
+				return p, v, true
+			}
 		}
 	}
 	w.c.EmptyPops++

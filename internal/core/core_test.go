@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -149,7 +150,10 @@ func TestNoLostTasksConcurrent(t *testing.T) {
 
 func TestStealingHappens(t *testing.T) {
 	// Load all tasks into worker 0's queue; worker 1 must obtain tasks
-	// exclusively by stealing.
+	// exclusively by stealing. Worker 0 yields every few pops: on a
+	// single-CPU machine (especially under -race instrumentation) it
+	// would otherwise drain all its work in one scheduler slice, leaving
+	// worker 1 no overlap in which a published steal buffer exists.
 	for name, mk := range variants() {
 		s := mk(Config{Workers: 2, StealProb: 0.5, StealSize: 4})
 		w0 := s.Worker(0)
@@ -176,6 +180,9 @@ func TestStealingHappens(t *testing.T) {
 					b.Reset()
 					popped[wid]++
 					pending.Dec()
+					if wid == 0 && popped[0]%64 == 0 {
+						runtime.Gosched()
+					}
 				}
 			}(wid)
 		}
@@ -421,5 +428,35 @@ func TestStatsRemoteCounting(t *testing.T) {
 	// sampler Total must be >= Remote).
 	if w.smp.Remote > w.smp.Total {
 		t.Fatalf("sampler Remote %d > Total %d", w.smp.Remote, w.smp.Total)
+	}
+}
+
+// TestSingleWorkerEmptyPopSkipsStealFallback: with one worker there is
+// no victim, so an empty Pop must not spin through the StealTries
+// fallback loop (every stealFrom against our own id is a no-op). The
+// failure must be reported immediately with no steal attempts counted.
+func TestSingleWorkerEmptyPopSkipsStealFallback(t *testing.T) {
+	for name, mk := range map[string]func() *SMQ[int]{
+		"heap":     func() *SMQ[int] { return NewStealingMQ[int](Config{Workers: 1, StealProb: 1}) },
+		"skiplist": func() *SMQ[int] { return NewStealingMQSkipList[int](Config{Workers: 1, StealProb: 1}) },
+	} {
+		s := mk()
+		w := s.Worker(0)
+		w.Push(3, 30)
+		if _, v, ok := w.Pop(); !ok || v != 30 {
+			t.Fatalf("%s: lost the single worker's own task", name)
+		}
+		for i := 0; i < 50; i++ {
+			if _, _, ok := w.Pop(); ok {
+				t.Fatalf("%s: popped from an empty scheduler", name)
+			}
+		}
+		st := s.Stats()
+		if st.EmptyPops != 50 {
+			t.Fatalf("%s: EmptyPops = %d, want 50", name, st.EmptyPops)
+		}
+		if st.Steals != 0 || st.StealFails != 0 || st.StolenTask != 0 {
+			t.Fatalf("%s: single-worker pops attempted steals: %+v", name, st)
+		}
 	}
 }

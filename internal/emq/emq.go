@@ -215,6 +215,8 @@ type worker[T any] struct {
 	insBuf []pq.Item[T] // insertion buffer
 	delBuf []pq.Item[T] // deletion buffer (served front to back)
 	delIdx int
+
+	sweepSkip []int // queues the sweep's try-lock pass skipped (reused)
 }
 
 // resample draws a fresh sticky queue pair (NUMA-weighted when
@@ -351,14 +353,34 @@ func (w *worker[T]) refill() bool {
 // sweepRefill scans every queue once from a random start and refills the
 // deletion buffer from the first non-empty one. It returns false only
 // when every queue was observed empty.
+//
+// The first pass uses try-locks (counting failures in LockFails) so the
+// cold path never blocks behind a queue busy serving other workers;
+// queues skipped by the first pass are re-visited with a blocking lock,
+// preserving the every-queue-observed guarantee.
 func (w *worker[T]) sweepRefill() bool {
 	m := len(w.s.queues)
 	start := w.rng.Intn(m)
+	w.sweepSkip = w.sweepSkip[:0]
 	for off := 0; off < m; off++ {
 		qi := start + off
 		if qi >= m {
 			qi -= m
 		}
+		q := w.s.queues[qi]
+		if !q.mu.TryLock() {
+			w.c.LockFails++
+			w.sweepSkip = append(w.sweepSkip, qi)
+			continue
+		}
+		w.delBuf = q.popBatch(w.s.cfg.DeleteBuffer, w.delBuf[:0])
+		w.delIdx = 0
+		q.mu.Unlock()
+		if len(w.delBuf) > 0 {
+			return true
+		}
+	}
+	for _, qi := range w.sweepSkip {
 		q := w.s.queues[qi]
 		q.mu.Lock()
 		w.delBuf = q.popBatch(w.s.cfg.DeleteBuffer, w.delBuf[:0])

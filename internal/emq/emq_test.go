@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/pq"
 	"repro/internal/sched"
 )
 
@@ -176,5 +177,25 @@ func TestNUMASamplingCountsRemote(t *testing.T) {
 	}
 	if low >= high {
 		t.Fatalf("K=256 remote fraction %.3f should be below K=1's %.3f", low, high)
+	}
+}
+
+// TestSweepRefillDoesNotBlockOnHeldLock: the sweep's first pass must use
+// try-locks, so a deletion-buffer refill that falls back to a sweep
+// still finds a task in an unlocked queue while another queue's lock is
+// held indefinitely.
+func TestSweepRefillDoesNotBlockOnHeldLock(t *testing.T) {
+	s := New[int](Config{Workers: 1, C: 4, DeleteBuffer: 4})
+	// Plant a task directly in queue 2, keeping its cached top coherent.
+	s.queues[2].mu.Lock()
+	s.queues[2].pushItem(pq.Item[int]{P: 5, V: 50})
+	s.queues[2].mu.Unlock()
+	// Hold queue 0's lock for the whole test.
+	s.queues[0].mu.Lock()
+	defer s.queues[0].mu.Unlock()
+
+	p, v, ok := s.Worker(0).Pop()
+	if !ok || p != 5 || v != 50 {
+		t.Fatalf("Pop = (%d, %d, %v), want (5, 50, true)", p, v, ok)
 	}
 }

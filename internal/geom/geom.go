@@ -1,0 +1,225 @@
+// Package geom provides the geometric substrate for the k-nearest-
+// neighbour and Euclidean-MST workloads: reproducible point-set
+// generators (uniform cube, Gaussian clusters — seeded like
+// internal/graph's generators), a kd-tree supporting exact k-NN and
+// bounded-radius queries, and the distance quantization that maps
+// Euclidean distances into the schedulers' integer priority/weight
+// domain.
+//
+// These workloads exercise a qualitatively different task-generation
+// pattern than the CSR traversals of §5: tasks expand an *implicit*
+// graph (the metric on a point set) by distance priority, the classic
+// relaxed-priority-queue scenario of Rihani, Sanders and Dementiev
+// (2014) that the Multi-Queue line is evaluated on.
+package geom
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// PointSet is a dense set of n points in R^Dim, stored flat: point i
+// occupies Coords[i*Dim : (i+1)*Dim]. The flat layout keeps kd-tree
+// construction and distance evaluation allocation-free.
+type PointSet struct {
+	Dim    int
+	Coords []float64
+}
+
+// N reports the number of points.
+func (ps *PointSet) N() int {
+	if ps.Dim == 0 {
+		return 0
+	}
+	return len(ps.Coords) / ps.Dim
+}
+
+// At returns point i as a slice view (do not mutate).
+func (ps *PointSet) At(i int) []float64 {
+	return ps.Coords[i*ps.Dim : (i+1)*ps.Dim]
+}
+
+// Dist2 returns the squared Euclidean distance between points i and j.
+func (ps *PointSet) Dist2(i, j int) float64 {
+	a := ps.At(i)
+	b := ps.At(j)
+	d2 := 0.0
+	for d := range a {
+		diff := a[d] - b[d]
+		d2 += diff * diff
+	}
+	return d2
+}
+
+// dist2To returns the squared distance from point i to an explicit
+// coordinate vector.
+func (ps *PointSet) dist2To(i int, q []float64) float64 {
+	a := ps.At(i)
+	d2 := 0.0
+	for d := range q {
+		diff := a[d] - q[d]
+		d2 += diff * diff
+	}
+	return d2
+}
+
+// Extent returns the side length of the bounding box's widest dimension
+// (0 for n < 2). Workload drivers use it to seed initial search radii.
+func (ps *PointSet) Extent() float64 {
+	n := ps.N()
+	if n < 2 {
+		return 0
+	}
+	widest := 0.0
+	for d := 0; d < ps.Dim; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			c := ps.Coords[i*ps.Dim+d]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > widest {
+			widest = hi - lo
+		}
+	}
+	return widest
+}
+
+// WeightScale converts Euclidean distance into the uint32 edge-weight
+// domain used by graph.CSR and the schedulers' priorities. The
+// generators emit coordinates of order 1, so scaled distances stay far
+// below MaxUint32; Weight saturates anyway for safety.
+const WeightScale = 1 << 20
+
+// Weight quantizes a squared Euclidean distance into a uint32 edge
+// weight. Both the parallel geometric algorithms and their sequential
+// baselines must price edges through this one function so that MST
+// weights compare exactly (every minimum spanning tree of a weighted
+// graph has the same total weight, so quantized-weight equality is a
+// sound exactness check even when ties are broken differently).
+func Weight(d2 float64) uint32 {
+	w := math.Round(math.Sqrt(d2) * WeightScale)
+	if w >= math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(w)
+}
+
+// Neighbor is one k-NN query result: a point index and its squared
+// distance from the query point.
+type Neighbor struct {
+	Idx int32
+	D2  float64
+}
+
+// less orders neighbors by (distance, index) — the deterministic
+// tie-break that makes k-NN graphs identical across schedulers and
+// against the brute-force reference.
+func (nb Neighbor) less(other Neighbor) bool {
+	if nb.D2 != other.D2 {
+		return nb.D2 < other.D2
+	}
+	return nb.Idx < other.Idx
+}
+
+// UniformCube generates n points uniformly in [0,1)^dim. The same seed
+// always yields the same point set (generator discipline shared with
+// internal/graph).
+func UniformCube(n, dim int, seed uint64) *PointSet {
+	if n < 0 || dim < 1 {
+		panic("geom: UniformCube needs n >= 0 and dim >= 1")
+	}
+	rng := xrand.New(seed)
+	coords := make([]float64, n*dim)
+	for i := range coords {
+		coords[i] = rng.Float64()
+	}
+	return &PointSet{Dim: dim, Coords: coords}
+}
+
+// GaussianClusters generates n points in dim dimensions grouped into
+// the given number of Gaussian clusters: cluster centers are uniform in
+// [0,1)^dim and points scatter around a round-robin-assigned center
+// with the given per-coordinate standard deviation. Clustered inputs
+// skew k-NN task costs (dense clusters resolve with tiny radii, sparse
+// gaps need many widenings), which is exactly the irregularity that
+// separates schedulers.
+func GaussianClusters(n, dim, clusters int, stddev float64, seed uint64) *PointSet {
+	if n < 0 || dim < 1 || clusters < 1 {
+		panic("geom: GaussianClusters needs n >= 0, dim >= 1, clusters >= 1")
+	}
+	if stddev < 0 {
+		stddev = 0
+	}
+	rng := xrand.New(seed)
+	centers := make([]float64, clusters*dim)
+	for i := range centers {
+		centers[i] = rng.Float64()
+	}
+	coords := make([]float64, n*dim)
+	for i := 0; i < n; i++ {
+		c := (i % clusters) * dim
+		for d := 0; d < dim; d++ {
+			coords[i*dim+d] = centers[c+d] + stddev*normFloat64(rng)
+		}
+	}
+	return &PointSet{Dim: dim, Coords: coords}
+}
+
+// normFloat64 draws a standard normal variate via Box–Muller. xrand
+// deliberately stays minimal (scheduler hot paths need no normals), so
+// the transform lives here with the only caller.
+func normFloat64(rng *xrand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	v := rng.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// BruteKNN returns the k nearest neighbors of point q by exhaustive
+// scan, excluding q itself, sorted by (distance, index). It is the
+// O(n·k) reference the kd-tree and the parallel k-NN graph are
+// validated against.
+func BruteKNN(ps *PointSet, q, k int) []Neighbor {
+	n := ps.N()
+	if k > n-1 {
+		k = n - 1
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Neighbor, 0, k)
+	for i := 0; i < n; i++ {
+		if i == q {
+			continue
+		}
+		nb := Neighbor{Idx: int32(i), D2: ps.Dist2(q, i)}
+		out = insertBounded(out, nb, k)
+	}
+	return out
+}
+
+// insertBounded inserts nb into the sorted bounded candidate list,
+// keeping at most k entries ordered by (distance, index).
+func insertBounded(list []Neighbor, nb Neighbor, k int) []Neighbor {
+	if len(list) == k && !nb.less(list[k-1]) {
+		return list
+	}
+	pos := len(list)
+	for pos > 0 && nb.less(list[pos-1]) {
+		pos--
+	}
+	if len(list) < k {
+		list = append(list, Neighbor{})
+	}
+	copy(list[pos+1:], list[pos:])
+	list[pos] = nb
+	return list
+}

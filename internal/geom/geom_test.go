@@ -1,0 +1,199 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// testSets enumerates point sets covering the regular and degenerate
+// shapes the kd-tree must handle: uniform, clustered, duplicate-heavy,
+// collinear, and tiny (n <= k).
+func testSets() map[string]*PointSet {
+	duplicates := &PointSet{Dim: 2}
+	for i := 0; i < 60; i++ {
+		// 20 distinct locations, each appearing three times.
+		x := float64(i % 20)
+		duplicates.Coords = append(duplicates.Coords, x*0.05, x*0.03)
+	}
+	collinear := &PointSet{Dim: 3}
+	for i := 0; i < 50; i++ {
+		t := float64(i) * 0.02
+		collinear.Coords = append(collinear.Coords, t, 2*t, -t)
+	}
+	return map[string]*PointSet{
+		"uniform2d":  UniformCube(300, 2, 1),
+		"uniform3d":  UniformCube(200, 3, 2),
+		"gauss":      GaussianClusters(300, 2, 5, 0.02, 3),
+		"gaussTight": GaussianClusters(128, 3, 4, 0, 4), // stddev 0: 4 duplicate sites
+		"duplicates": duplicates,
+		"collinear":  collinear,
+		"tiny":       UniformCube(3, 2, 5),
+		"single":     UniformCube(1, 2, 6),
+		"empty":      {Dim: 2},
+	}
+}
+
+func TestKDTreeKNNMatchesBruteForce(t *testing.T) {
+	for name, ps := range testSets() {
+		tree := NewKDTree(ps)
+		for _, k := range []int{1, 4, 9, ps.N() + 5} { // k > n-1 covered
+			var buf []Neighbor
+			for q := 0; q < ps.N(); q++ {
+				want := BruteKNN(ps, q, k)
+				buf = tree.KNN(ps.At(q), k, int32(q), buf)
+				if len(buf) != len(want) {
+					t.Fatalf("%s k=%d q=%d: got %d neighbors, want %d", name, k, q, len(buf), len(want))
+				}
+				for i := range want {
+					if buf[i] != want[i] {
+						t.Fatalf("%s k=%d q=%d: neighbor %d = %+v, want %+v", name, k, q, i, buf[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKDTreeWithinMatchesBruteForce(t *testing.T) {
+	for name, ps := range testSets() {
+		tree := NewKDTree(ps)
+		for _, r := range []float64{0, 0.05, 0.3, 10} {
+			r2 := r * r
+			var buf []Neighbor
+			for q := 0; q < ps.N(); q++ {
+				got := map[int32]bool{}
+				buf = tree.AppendWithin(ps.At(q), r2, int32(q), buf[:0])
+				for _, nb := range buf {
+					if nb.Idx == int32(q) {
+						t.Fatalf("%s r=%g q=%d: query point returned", name, r, q)
+					}
+					if got[nb.Idx] {
+						t.Fatalf("%s r=%g q=%d: point %d returned twice", name, r, q, nb.Idx)
+					}
+					got[nb.Idx] = true
+					if d2 := ps.Dist2(q, int(nb.Idx)); d2 != nb.D2 || d2 > r2 {
+						t.Fatalf("%s r=%g q=%d: bad distance for %d", name, r, q, nb.Idx)
+					}
+				}
+				for i := 0; i < ps.N(); i++ {
+					if i != q && ps.Dist2(q, i) <= r2 && !got[int32(i)] {
+						t.Fatalf("%s r=%g q=%d: point %d within radius but missing", name, r, q, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := UniformCube(500, 3, 42)
+	b := UniformCube(500, 3, 42)
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatalf("UniformCube not deterministic at %d", i)
+		}
+	}
+	c := UniformCube(500, 3, 43)
+	same := 0
+	for i := range a.Coords {
+		if a.Coords[i] == c.Coords[i] {
+			same++
+		}
+	}
+	if same == len(a.Coords) {
+		t.Fatal("different seeds produced identical point sets")
+	}
+
+	g1 := GaussianClusters(400, 2, 7, 0.05, 9)
+	g2 := GaussianClusters(400, 2, 7, 0.05, 9)
+	for i := range g1.Coords {
+		if g1.Coords[i] != g2.Coords[i] {
+			t.Fatalf("GaussianClusters not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGaussianClustersShape(t *testing.T) {
+	const clusters = 4
+	ps := GaussianClusters(4000, 2, clusters, 0.01, 11)
+	if ps.N() != 4000 {
+		t.Fatalf("n = %d", ps.N())
+	}
+	// Points assigned round-robin to the same cluster should be far more
+	// concentrated than the global spread.
+	within, across := 0.0, 0.0
+	for i := 0; i+clusters < 400*clusters; i += clusters {
+		within += math.Sqrt(ps.Dist2(i, i+clusters)) // same cluster
+		across += math.Sqrt(ps.Dist2(i, i+1))        // different clusters
+	}
+	if within >= across {
+		t.Fatalf("cluster spread %g not smaller than cross-cluster spread %g", within, across)
+	}
+}
+
+func TestWeightQuantization(t *testing.T) {
+	if Weight(0) != 0 {
+		t.Fatal("zero distance must quantize to zero")
+	}
+	if Weight(1) != WeightScale {
+		t.Fatalf("unit distance = %d, want %d", Weight(1), WeightScale)
+	}
+	if Weight(math.Inf(1)) != math.MaxUint32 {
+		t.Fatal("infinite distance must saturate")
+	}
+	// Monotone on a coarse grid.
+	prev := uint32(0)
+	for d := 0.0; d < 4.0; d += 0.01 {
+		w := Weight(d * d)
+		if w < prev {
+			t.Fatalf("Weight not monotone at %g", d)
+		}
+		prev = w
+	}
+}
+
+func TestExtent(t *testing.T) {
+	ps := &PointSet{Dim: 2, Coords: []float64{0, 0, 3, 1, 1, 2}}
+	if got := ps.Extent(); got != 3 {
+		t.Fatalf("Extent = %g, want 3", got)
+	}
+	if (&PointSet{Dim: 2}).Extent() != 0 {
+		t.Fatal("empty set extent must be 0")
+	}
+}
+
+func TestKDTreeNearestFilteredMatchesBruteForce(t *testing.T) {
+	for name, ps := range testSets() {
+		tree := NewKDTree(ps)
+		// Filters of increasing selectivity, including "everything
+		// excluded" (the ok=false path).
+		filters := map[string]func(int32) bool{
+			"none":  func(int32) bool { return false },
+			"evens": func(i int32) bool { return i%2 == 0 },
+			"most":  func(i int32) bool { return i%7 != 0 },
+			"all":   func(int32) bool { return true },
+		}
+		for fname, excluded := range filters {
+			for q := 0; q < ps.N(); q++ {
+				var want Neighbor
+				wantOK := false
+				for i := 0; i < ps.N(); i++ {
+					if i == q || excluded(int32(i)) {
+						continue
+					}
+					nb := Neighbor{Idx: int32(i), D2: ps.Dist2(q, i)}
+					if !wantOK || nb.less(want) {
+						want, wantOK = nb, true
+					}
+				}
+				got, ok := tree.NearestFiltered(ps.At(q), int32(q), excluded)
+				if ok != wantOK {
+					t.Fatalf("%s/%s q=%d: ok=%v, want %v", name, fname, q, ok, wantOK)
+				}
+				if ok && got != want {
+					t.Fatalf("%s/%s q=%d: got %+v, want %+v", name, fname, q, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// leafSize is the kd-tree bucket size: subranges at most this long stay
+// leaves and are scanned linearly. Small buckets keep queries exact and
+// cheap without deep recursion on clustered inputs.
+const leafSize = 8
+
+// KDTree is a static kd-tree over a PointSet, built once and then read
+// concurrently by any number of workers (queries never mutate it).
+// Splits cut the widest dimension of each subrange at its median, which
+// keeps the tree balanced even for Gaussian-cluster inputs.
+type KDTree struct {
+	ps    *PointSet
+	idx   []int32  // permutation of point indices; leaves own subranges
+	nodes []kdNode // nodes[0] is the root (when N() > 0)
+}
+
+// kdNode is one tree node. A leaf has left == -1 and owns idx[lo:hi];
+// an internal node splits dimension dim at value split, with points
+// having coord <= split in nodes[left] and coord >= split in
+// nodes[right].
+type kdNode struct {
+	split       float64
+	dim         int32
+	left, right int32
+	lo, hi      int32
+}
+
+// NewKDTree builds a kd-tree over ps. The tree keeps a reference to ps;
+// the caller must not mutate the point set afterwards.
+func NewKDTree(ps *PointSet) *KDTree {
+	n := ps.N()
+	t := &KDTree{ps: ps, idx: make([]int32, n)}
+	for i := range t.idx {
+		t.idx[i] = int32(i)
+	}
+	if n > 0 {
+		t.nodes = make([]kdNode, 0, 2*n/leafSize+1)
+		t.build(0, int32(n))
+	}
+	return t
+}
+
+// build recursively lays out the subtree for idx[lo:hi] and returns its
+// node index.
+func (t *KDTree) build(lo, hi int32) int32 {
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdNode{lo: lo, hi: hi, left: -1, right: -1})
+	if hi-lo <= leafSize {
+		return self
+	}
+	// Split the widest dimension of this subrange's bounding box; zero
+	// extent (all points coincident) degenerates to a leaf, which also
+	// terminates recursion on duplicate-heavy inputs.
+	dim, extent := t.widestDim(lo, hi)
+	if extent == 0 {
+		return self
+	}
+	sub := t.idx[lo:hi]
+	sort.Slice(sub, func(a, b int) bool {
+		ca := t.ps.Coords[int(sub[a])*t.ps.Dim+dim]
+		cb := t.ps.Coords[int(sub[b])*t.ps.Dim+dim]
+		if ca != cb {
+			return ca < cb
+		}
+		return sub[a] < sub[b]
+	})
+	mid := (lo + hi) / 2
+	split := t.ps.Coords[int(t.idx[mid])*t.ps.Dim+dim]
+	left := t.build(lo, mid)
+	right := t.build(mid, hi)
+	t.nodes[self].dim = int32(dim)
+	t.nodes[self].split = split
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// widestDim returns the dimension with the largest coordinate extent
+// over idx[lo:hi], and that extent.
+func (t *KDTree) widestDim(lo, hi int32) (int, float64) {
+	bestDim, bestExt := 0, -1.0
+	for d := 0; d < t.ps.Dim; d++ {
+		minC, maxC := t.ps.Coords[int(t.idx[lo])*t.ps.Dim+d], t.ps.Coords[int(t.idx[lo])*t.ps.Dim+d]
+		for i := lo + 1; i < hi; i++ {
+			c := t.ps.Coords[int(t.idx[i])*t.ps.Dim+d]
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if ext := maxC - minC; ext > bestExt {
+			bestDim, bestExt = d, ext
+		}
+	}
+	return bestDim, bestExt
+}
+
+// KNN appends the k nearest neighbors of the query coordinates to dst
+// (reusing its backing array), excluding point index skip (pass a
+// negative value to exclude nothing). The result is sorted by
+// (distance, index), the same deterministic order as BruteKNN, and has
+// min(k, available) entries.
+func (t *KDTree) KNN(q []float64, k int, skip int32, dst []Neighbor) []Neighbor {
+	dst = dst[:0]
+	if k <= 0 || len(t.nodes) == 0 {
+		return dst
+	}
+	return t.knn(0, q, k, skip, dst)
+}
+
+func (t *KDTree) knn(node int32, q []float64, k int, skip int32, list []Neighbor) []Neighbor {
+	nd := &t.nodes[node]
+	if nd.left < 0 {
+		for _, pi := range t.idx[nd.lo:nd.hi] {
+			if pi == skip {
+				continue
+			}
+			nb := Neighbor{Idx: pi, D2: t.ps.dist2To(int(pi), q)}
+			list = insertBounded(list, nb, k)
+		}
+		return list
+	}
+	diff := q[nd.dim] - nd.split
+	near, far := nd.left, nd.right
+	if diff > 0 {
+		near, far = nd.right, nd.left
+	}
+	list = t.knn(near, q, k, skip, list)
+	// Visit the far side unless every point there is strictly worse than
+	// the current k-th candidate. Equality must recurse: an equidistant
+	// point with a smaller index still wins the deterministic tie-break.
+	if len(list) < k || diff*diff <= list[len(list)-1].D2 {
+		list = t.knn(far, q, k, skip, list)
+	}
+	return list
+}
+
+// NearestFiltered returns the nearest point to the query coordinates —
+// by the same deterministic (distance, index) order as KNN — among
+// points not excluded by the filter, skipping point index skip.
+// ok=false means every point was filtered out. The filter is consulted
+// once per candidate leaf entry; subtree pruning uses only geometry, so
+// the filter may be stateful (e.g. union-find component membership)
+// without affecting exactness.
+func (t *KDTree) NearestFiltered(q []float64, skip int32, excluded func(int32) bool) (Neighbor, bool) {
+	if len(t.nodes) == 0 {
+		return Neighbor{}, false
+	}
+	best := Neighbor{Idx: -1, D2: math.Inf(1)}
+	best = t.nearestFiltered(0, q, skip, excluded, best)
+	return best, best.Idx >= 0
+}
+
+func (t *KDTree) nearestFiltered(node int32, q []float64, skip int32, excluded func(int32) bool, best Neighbor) Neighbor {
+	nd := &t.nodes[node]
+	if nd.left < 0 {
+		for _, pi := range t.idx[nd.lo:nd.hi] {
+			if pi == skip || excluded(pi) {
+				continue
+			}
+			nb := Neighbor{Idx: pi, D2: t.ps.dist2To(int(pi), q)}
+			if best.Idx < 0 || nb.less(best) {
+				best = nb
+			}
+		}
+		return best
+	}
+	diff := q[nd.dim] - nd.split
+	near, far := nd.left, nd.right
+	if diff > 0 {
+		near, far = nd.right, nd.left
+	}
+	best = t.nearestFiltered(near, q, skip, excluded, best)
+	if best.Idx < 0 || diff*diff <= best.D2 {
+		best = t.nearestFiltered(far, q, skip, excluded, best)
+	}
+	return best
+}
+
+// AppendWithin appends every point with squared distance <= r2 from the
+// query coordinates to dst (reusing its backing array), excluding point
+// index skip. The output order is unspecified; callers sort or select.
+func (t *KDTree) AppendWithin(q []float64, r2 float64, skip int32, dst []Neighbor) []Neighbor {
+	if len(t.nodes) == 0 {
+		return dst
+	}
+	return t.within(0, q, r2, skip, dst)
+}
+
+func (t *KDTree) within(node int32, q []float64, r2 float64, skip int32, dst []Neighbor) []Neighbor {
+	nd := &t.nodes[node]
+	if nd.left < 0 {
+		for _, pi := range t.idx[nd.lo:nd.hi] {
+			if pi == skip {
+				continue
+			}
+			if d2 := t.ps.dist2To(int(pi), q); d2 <= r2 {
+				dst = append(dst, Neighbor{Idx: pi, D2: d2})
+			}
+		}
+		return dst
+	}
+	diff := q[nd.dim] - nd.split
+	near, far := nd.left, nd.right
+	if diff > 0 {
+		near, far = nd.right, nd.left
+	}
+	dst = t.within(near, q, r2, skip, dst)
+	if diff*diff <= r2 {
+		dst = t.within(far, q, r2, skip, dst)
+	}
+	return dst
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/geom"
+)
+
+// The geom experiment: the geometric workload family (k-NN graph
+// construction and Euclidean MST over point sets) run across the full
+// scheduler lineup × point-distribution grid. These are the classic
+// relaxed-priority-queue workloads of Rihani, Sanders and Dementiev
+// (2014) — distance-priority expansion over an implicit graph — and the
+// first non-CSR task-generation pattern in the harness.
+
+// geomK is the neighbour count of the experiment's k-NN workloads.
+const geomK = 8
+
+// geomPointSet is one named point distribution of the grid.
+type geomPointSet struct {
+	Name string
+	PS   *geom.PointSet
+}
+
+// geomDistributions builds the experiment's point-set grid at the given
+// scale, seeded reproducibly like graph.StandardInputs.
+func geomDistributions(scale int) []geomPointSet {
+	if scale < 1 {
+		scale = 1
+	}
+	n := 1500 * scale
+	return []geomPointSet{
+		{"UNIFORM", geom.UniformCube(n, 2, 46)},
+		{"GAUSS", geom.GaussianClusters(n, 2, 16, 0.02, 47)},
+		{"CUBE3D", geom.UniformCube(2*n/3, 3, 48)},
+	}
+}
+
+// runGeom measures every standard scheduler on both geometric workloads
+// over every distribution, one table per workload with a row per
+// scheduler × distribution. Speedups are against the sequential
+// baselines (kd-tree k-NN build, O(n^2) Prim); Euclidean MST results
+// are always checked exactly against Prim (weight and edge count), and
+// with cfg.Validate the k-NN graphs are also compared structurally
+// against the sequential reference.
+func runGeom(cfg RunConfig) ([]Table, error) {
+	cfg.normalize()
+	knnTable := Table{
+		Title: fmt.Sprintf("Geometric workloads — parallel k-NN graph construction (k=%d, %d threads; speedup vs sequential kd-tree build)",
+			geomK, cfg.MaxThreads),
+		Header: []string{"Distribution", "Scheduler", "Threads", "Time", "Speedup", "WorkIncrease"},
+	}
+	mstTable := Table{
+		Title: fmt.Sprintf("Geometric workloads — Euclidean MST (k=%d candidates, %d threads; speedup vs sequential O(n^2) Prim)",
+			geomK, cfg.MaxThreads),
+		Header: []string{"Distribution", "Scheduler", "Threads", "Time", "Speedup", "WorkIncrease"},
+	}
+	for _, d := range geomDistributions(cfg.Scale) {
+		n := d.PS.N()
+
+		start := time.Now()
+		knnWant, _ := algos.KNNGraphSeq(d.PS, geomK)
+		knnSeqDur := time.Since(start)
+
+		start = time.Now()
+		wantW, wantE := algos.PrimEMSTSeq(d.PS)
+		primDur := time.Since(start)
+
+		for _, spec := range StandardSchedulers() {
+			var knnBest, mstBest algos.Result
+			for r := 0; r < cfg.Reps; r++ {
+				got, res := algos.KNNGraph(d.PS, geomK, spec.Make(cfg.MaxThreads))
+				if cfg.Validate && !reflect.DeepEqual(got, knnWant) {
+					return nil, fmt.Errorf("geom: %s/%s: k-NN graph differs from sequential reference", d.Name, spec.Name)
+				}
+				if r == 0 || res.Duration < knnBest.Duration {
+					knnBest = res
+				}
+
+				gotW, gotE, mres := algos.EuclideanMST(d.PS, geomK, spec.Make(cfg.MaxThreads))
+				if gotW != wantW || gotE != wantE {
+					return nil, fmt.Errorf("geom: %s/%s: EMST = (%d, %d), want (%d, %d)",
+						d.Name, spec.Name, gotW, gotE, wantW, wantE)
+				}
+				if r == 0 || mres.Duration < mstBest.Duration {
+					mstBest = mres
+				}
+			}
+			knnTable.AddRow(d.Name, spec.Name, fmt.Sprint(cfg.MaxThreads),
+				knnBest.Duration.Round(time.Microsecond).String(),
+				fm(safeRatio(knnSeqDur, knnBest.Duration)),
+				fm(knnBest.WorkIncrease(uint64(n))))
+			mstTable.AddRow(d.Name, spec.Name, fmt.Sprint(cfg.MaxThreads),
+				mstBest.Duration.Round(time.Microsecond).String(),
+				fm(safeRatio(primDur, mstBest.Duration)),
+				fm(mstBest.WorkIncrease(uint64(2*n))))
+		}
+	}
+	return []Table{knnTable, mstTable}, nil
+}

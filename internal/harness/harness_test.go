@@ -71,7 +71,7 @@ func TestRegistryCoversPaperArtifacts(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig7", "fig9", "fig11", "fig13", "fig15", "fig19", "numa", "theory"} {
+	for _, want := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig7", "fig9", "fig11", "fig13", "fig15", "fig19", "numa", "theory", "geom"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -169,5 +169,32 @@ func TestGraphSuffix(t *testing.T) {
 func TestSpeedupCellFormat(t *testing.T) {
 	if got := speedupCell(1.5, 1.07); got != "1.50/1.07" {
 		t.Fatalf("cell = %q", got)
+	}
+}
+
+func TestGeomExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("geom experiment is slow")
+	}
+	tables, err := runGeom(RunConfig{Scale: 1, Threads: []int{2}, Reps: 1, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("geom should emit k-NN and EMST tables, got %d", len(tables))
+	}
+	// One TSV row per scheduler × distribution in each table.
+	want := len(StandardSchedulers()) * len(geomDistributions(1))
+	for _, tb := range tables {
+		if len(tb.Rows) != want {
+			t.Fatalf("%q has %d rows, want %d", tb.Title, len(tb.Rows), want)
+		}
+	}
+	var tsv bytes.Buffer
+	if err := WriteTables(&tsv, tables, "tsv"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tsv.String(), "UNIFORM\tSMQ (Default)") {
+		t.Fatalf("TSV missing scheduler × distribution rows:\n%s", tsv.String())
 	}
 }

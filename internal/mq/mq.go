@@ -247,6 +247,8 @@ type mqWorker[T any] struct {
 	insBuf []pq.Item[T] // batching insert buffer
 	delBuf []pq.Item[T] // batching delete buffer
 	delIdx int
+
+	sweepSkip []int // queues the sweep's try-lock pass skipped (reused)
 }
 
 // Push inserts a task according to the configured insert policy.
@@ -400,8 +402,17 @@ func (w *mqWorker[T]) popRandom2(batch int) (uint64, T, bool) {
 			continue
 		}
 		qi, q := i1, q1
-		if i2 != i1 && q2.heap.Top() < q1.heap.Top() {
-			qi, q = i2, q2
+		if i2 != i1 {
+			// Release the loser right after the top comparison (Listing 1
+			// only needs both locks for the comparison itself); holding it
+			// across the winner's extraction would serialize unrelated
+			// workers against the loser queue under contention.
+			loser := q2
+			if q2.heap.Top() < q1.heap.Top() {
+				qi, q = i2, q2
+				loser = q1
+			}
+			loser.mu.Unlock()
 		}
 		var (
 			p  uint64
@@ -419,10 +430,7 @@ func (w *mqWorker[T]) popRandom2(batch int) (uint64, T, bool) {
 				p, v, ok = it.P, it.V, true
 			}
 		}
-		q1.mu.Unlock()
-		if i2 != i1 {
-			q2.mu.Unlock()
-		}
+		q.mu.Unlock()
 		if ok {
 			w.lastDel = qi
 			return p, v, true
@@ -481,14 +489,34 @@ func (w *mqWorker[T]) popRandom2Peek(batch int) (uint64, T, bool) {
 // task found. It returns false only when every queue was observed empty,
 // which makes spurious Pop failures rare (they can still happen — the
 // contract allows it).
+//
+// The first pass uses try-locks (counting failures in LockFails) so a
+// sweeping worker never stalls behind a queue that is busy serving
+// others; only queues skipped by the first pass are re-visited with a
+// blocking lock, preserving the every-queue-observed guarantee.
 func (w *mqWorker[T]) sweep() (uint64, T, bool) {
 	m := len(w.s.queues)
 	start := w.rng.Intn(m)
+	w.sweepSkip = w.sweepSkip[:0]
 	for off := 0; off < m; off++ {
 		qi := start + off
 		if qi >= m {
 			qi -= m
 		}
+		q := w.s.queues[qi]
+		if !q.mu.TryLock() {
+			w.c.LockFails++
+			w.sweepSkip = append(w.sweepSkip, qi)
+			continue
+		}
+		p, v, ok := q.pop()
+		q.mu.Unlock()
+		if ok {
+			w.lastDel = qi
+			return p, v, true
+		}
+	}
+	for _, qi := range w.sweepSkip {
 		q := w.s.queues[qi]
 		q.mu.Lock()
 		p, v, ok := q.pop()

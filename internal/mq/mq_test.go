@@ -338,3 +338,27 @@ func TestStatsRemoteWiring(t *testing.T) {
 		t.Logf("remote=%d (informational)", st.Remote)
 	}
 }
+
+// TestSweepDoesNotBlockOnHeldLock: the sweep's first pass must use
+// try-locks, so a worker falling back to a sweep still pops a task from
+// an unlocked queue even while another queue's lock is held indefinitely
+// (previously the blocking per-queue Lock could stall the sweep behind
+// an unrelated busy queue).
+func TestSweepDoesNotBlockOnHeldLock(t *testing.T) {
+	s := New[int](Config{Workers: 1, C: 2})
+	// Plant a task directly in queue 1, keeping its cached top coherent.
+	s.queues[1].mu.Lock()
+	s.queues[1].push(5, 50)
+	s.queues[1].mu.Unlock()
+	// Hold queue 0's lock for the whole test.
+	s.queues[0].mu.Lock()
+	defer s.queues[0].mu.Unlock()
+
+	p, v, ok := s.Worker(0).Pop()
+	if !ok || p != 5 || v != 50 {
+		t.Fatalf("Pop = (%d, %d, %v), want (5, 50, true)", p, v, ok)
+	}
+	if st := s.Stats(); st.LockFails == 0 {
+		t.Fatalf("expected try-lock failures against the held queue, got %+v", st)
+	}
+}

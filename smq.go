@@ -13,6 +13,14 @@
 // design with queue stickiness and insertion/deletion buffers; see
 // NewEngineeredMQ and EMQConfig.
 //
+// The workload zoo extends past the paper's CSR-graph benchmarks with a
+// geometric family — parallel k-nearest-neighbour graph construction and
+// exact Euclidean MST over generated point sets (KNNGraph, EuclideanMST,
+// GenerateUniformPoints, GenerateGaussianClusters) — the classic
+// relaxed-priority-queue workloads of Rihani, Sanders and Dementiev
+// (2014), where tasks expand an implicit metric graph by distance
+// priority instead of walking a prebuilt adjacency structure.
+//
 // # Priorities
 //
 // All schedulers order tasks by a uint64 priority where LOWER means
@@ -55,6 +63,7 @@ import (
 	"repro/internal/algos"
 	"repro/internal/core"
 	"repro/internal/emq"
+	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/mq"
 	"repro/internal/obim"
@@ -285,6 +294,49 @@ func AStar(g *Graph, src, target uint32, s Scheduler[uint32]) (uint64, Result) {
 // BoruvkaMST computes the minimum spanning forest weight and edge count.
 func BoruvkaMST(g *Graph, s Scheduler[uint32]) (uint64, int, Result) {
 	return algos.BoruvkaMST(g, s)
+}
+
+// ---------------------------------------------------------------------------
+// Geometry
+
+// PointSet is a dense point set in R^d, the input of the geometric
+// workloads (k-NN graph construction, Euclidean MST).
+type PointSet = geom.PointSet
+
+// GenerateUniformPoints generates n points uniformly in [0,1)^dim,
+// reproducibly from the seed.
+func GenerateUniformPoints(n, dim int, seed uint64) *PointSet {
+	return geom.UniformCube(n, dim, seed)
+}
+
+// GenerateGaussianClusters generates n points grouped into Gaussian
+// clusters with the given per-coordinate standard deviation,
+// reproducibly from the seed.
+func GenerateGaussianClusters(n, dim, clusters int, stddev float64, seed uint64) *PointSet {
+	return geom.GaussianClusters(n, dim, clusters, stddev, seed)
+}
+
+// KNNGraph builds the directed k-nearest-neighbour graph of a point set
+// with the given scheduler: each task resolves one vertex's k-th
+// neighbour by bounded-radius kd-tree queries, re-enqueued with widened
+// radius (priority = quantized current radius) until resolved. The
+// result is deterministic for every scheduler.
+func KNNGraph(ps *PointSet, k int, s Scheduler[uint32]) (*Graph, Result) {
+	return algos.KNNGraph(ps, k, s)
+}
+
+// EuclideanMST computes the exact Euclidean minimum spanning tree of a
+// point set (k-NN candidate graph + Boruvka contraction with a
+// widen-radius fallback), returning total quantized weight and edge
+// count. The result matches EuclideanMSTSeq exactly.
+func EuclideanMST(ps *PointSet, k int, s Scheduler[uint32]) (uint64, int, Result) {
+	return algos.EuclideanMST(ps, k, s)
+}
+
+// EuclideanMSTSeq is the sequential O(n^2) Prim baseline for
+// EuclideanMST.
+func EuclideanMSTSeq(ps *PointSet) (uint64, int) {
+	return algos.PrimEMSTSeq(ps)
 }
 
 // PageRankConfig configures ResidualPageRank.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/emq"
 	"repro/internal/graph"
 	"repro/internal/harness"
+	"repro/internal/klsm"
 	"repro/internal/mq"
 	"repro/internal/pq"
 	"repro/internal/ranksim"
@@ -308,6 +309,45 @@ func BenchmarkEMQ_Throughput(b *testing.B) {
 	road, rmat := benchGraphs()
 	specs := []harness.SchedulerSpec{
 		harness.EMQSpec("EMQ", 16, 16, 0),
+		{Name: "MQ Classic", Make: harness.ClassicMQBaseline},
+		harness.SMQSpec("SMQ", 4, 1.0/8, 0),
+	}
+	for _, spec := range specs {
+		spec := spec
+		b.Run("SSSP_road/"+spec.Name, func(b *testing.B) {
+			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, road)
+		})
+		b.Run("SSSP_rmat/"+spec.Name, func(b *testing.B) {
+			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, rmat)
+		})
+	}
+}
+
+// --- k-LSM (Wimmer et al. 2015) --------------------------------------------
+
+// BenchmarkKLSM_Ablation sweeps the k-LSM's relaxation bound k — the
+// local-LSM capacity, its single knob and the `klsm` experiment's axis —
+// on SSSP. Small k means constant spilling and global-lock traffic;
+// large k trades rank quality for local, synchronization-free pops.
+func BenchmarkKLSM_Ablation(b *testing.B) {
+	road, _ := benchGraphs()
+	for _, k := range []int{4, 64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			benchSSSP(b, func() sched.Scheduler[uint32] {
+				return klsm.New[uint32](klsm.Config{Workers: benchWorkers, Relaxation: k})
+			}, road)
+		})
+	}
+}
+
+// BenchmarkKLSM_Throughput compares the k-LSM's default configuration
+// (k=256) against the classic MQ and the SMQ on both graph shapes — the
+// paper's Figure 2 head-to-head with its strongest non-Multi-Queue
+// baseline.
+func BenchmarkKLSM_Throughput(b *testing.B) {
+	road, rmat := benchGraphs()
+	specs := []harness.SchedulerSpec{
+		harness.KLSMSpec("kLSM", 256),
 		{Name: "MQ Classic", Make: harness.ClassicMQBaseline},
 		harness.SMQSpec("SMQ", 4, 1.0/8, 0),
 	}

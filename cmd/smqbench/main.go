@@ -5,6 +5,7 @@
 //	smqbench -list
 //	smqbench -exp fig2 -scale 1 -threads 1,2,4 -reps 3
 //	smqbench -exp emq -scale 1
+//	smqbench -exp klsm -scale 1 -maxthreads 4
 //	smqbench -exp geom -scale 2 -maxthreads 4 -format tsv
 //	smqbench -exp all -format tsv > results.tsv
 //
@@ -13,7 +14,10 @@
 // DESIGN.md §4 for the experiment ↔ artifact mapping and EXPERIMENTS.md
 // for recorded paper-vs-measured comparisons. The emq experiment covers
 // the engineered MultiQueue follow-up baseline (Williams et al. 2021)
-// with its stickiness × buffer-size grid. The geom experiment runs the
+// with its stickiness × buffer-size grid; the klsm experiment sweeps
+// the k-LSM's relaxation bound (Wimmer et al. 2015, k = 4..4096), the
+// strongest non-Multi-Queue baseline of the paper's Figure 2 lineup,
+// which both experiments' schedulers also join. The geom experiment runs the
 // geometric workload family — parallel k-NN graph construction and
 // exact Euclidean MST over generated point sets (uniform cube, Gaussian
 // clusters) — across the full scheduler lineup, one TSV row per

@@ -1,0 +1,226 @@
+// Command zoogate is the CI gate that keeps the scheduler zoo honest:
+// ROADMAP.md requires every scheduler constructor to be exercised by
+// the cross-scheduler conformance suite, and this tool enforces that
+// mechanically instead of by convention.
+//
+// It parses the root package's source for exported New* functions that
+// return a Scheduler, parses the rootConstructorsCovered list out of
+// internal/sched/conformance_test.go, and fails (exit 1) on any
+// mismatch in either direction:
+//
+//   - a root scheduler constructor missing from the coverage list means
+//     a scheduler could land untested — the gate's reason to exist;
+//   - a stale coverage entry with no matching root constructor means
+//     the list has drifted from the API and would mask the first case.
+//
+// The in-package test TestZooGateCoverageConsistent closes the loop on
+// the other side: every name in rootConstructorsCovered must be claimed
+// by a conformance case's covers field, so the list cannot be padded
+// without a real conformance entry behind it.
+//
+// Usage (from the repository root, as .github/workflows/ci.yml does):
+//
+//	go run ./cmd/zoogate
+//	go run ./cmd/zoogate -root /path/to/repo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// conformancePath is where the coverage list lives, relative to the
+// repository root.
+const conformancePath = "internal/sched/conformance_test.go"
+
+// coverageListName is the variable in the conformance suite that names
+// the root constructors it exercises.
+const coverageListName = "rootConstructorsCovered"
+
+func main() {
+	root := flag.String("root", ".", "repository root (the directory holding the root Go package)")
+	flag.Parse()
+
+	constructors, err := schedulerConstructorsInDir(*root)
+	if err != nil {
+		fatal(err)
+	}
+	if len(constructors) == 0 {
+		fatal(fmt.Errorf("no exported New* scheduler constructors found under %s — wrong -root?", *root))
+	}
+	covered, err := coveredConstructorsInFile(filepath.Join(*root, conformancePath))
+	if err != nil {
+		fatal(err)
+	}
+
+	missing, stale := diffCoverage(constructors, covered)
+	if len(missing) == 0 && len(stale) == 0 {
+		fmt.Printf("zoogate: OK — %d scheduler constructors, all in the conformance lineup (%s)\n",
+			len(constructors), conformancePath)
+		return
+	}
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr,
+			"zoogate: %s is exported by the root package but missing from %s in %s — "+
+				"add a conformance case covering it\n",
+			name, coverageListName, conformancePath)
+	}
+	for _, name := range stale {
+		fmt.Fprintf(os.Stderr,
+			"zoogate: %s is listed in %s but the root package exports no such constructor — "+
+				"remove the stale entry\n",
+			name, coverageListName)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zoogate:", err)
+	os.Exit(1)
+}
+
+// schedulerConstructorsInDir parses every non-test .go file directly in
+// dir (the root package) and returns the exported scheduler
+// constructors, sorted.
+func schedulerConstructorsInDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, schedulerConstructors(f)...)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// schedulerConstructors extracts from one parsed file the exported
+// top-level New* functions whose first result type mentions Scheduler —
+// the shape of every scheduler constructor in the root package. Helpers
+// returning graphs, point sets or results are ignored.
+func schedulerConstructors(f *ast.File) []string {
+	var out []string
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+			continue
+		}
+		if !strings.HasPrefix(fd.Name.Name, "New") {
+			continue
+		}
+		if returnsScheduler(fd.Type) {
+			out = append(out, fd.Name.Name)
+		}
+	}
+	return out
+}
+
+// returnsScheduler reports whether the function's first result type
+// references an identifier named Scheduler (covers Scheduler[T],
+// sched.Scheduler[T] and plain Scheduler).
+func returnsScheduler(ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(ft.Results.List[0].Type, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "Scheduler" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// coveredConstructorsInFile parses the conformance suite and returns the
+// string entries of the rootConstructorsCovered list, sorted.
+func coveredConstructorsInFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	return coveredConstructors(f)
+}
+
+// coveredConstructors extracts the coverage list from a parsed
+// conformance file.
+func coveredConstructors(f *ast.File) ([]string, error) {
+	var lit *ast.CompositeLit
+	ast.Inspect(f, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for i, name := range vs.Names {
+			if name.Name != coverageListName || i >= len(vs.Values) {
+				continue
+			}
+			if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+				lit = cl
+				return false
+			}
+		}
+		return true
+	})
+	if lit == nil {
+		return nil, fmt.Errorf("no %s literal found in %s", coverageListName, f.Name.Name)
+	}
+	var out []string
+	for _, elt := range lit.Elts {
+		bl, ok := elt.(*ast.BasicLit)
+		if !ok || bl.Kind != token.STRING {
+			return nil, fmt.Errorf("%s has a non-string element %v", coverageListName, elt)
+		}
+		s, err := strconv.Unquote(bl.Value)
+		if err != nil {
+			return nil, fmt.Errorf("%s element %s: %w", coverageListName, bl.Value, err)
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// diffCoverage compares the exported constructor set against the
+// coverage list, returning constructors missing from the list and stale
+// list entries with no matching constructor.
+func diffCoverage(constructors, covered []string) (missing, stale []string) {
+	have := map[string]bool{}
+	for _, c := range covered {
+		have[c] = true
+	}
+	exported := map[string]bool{}
+	for _, c := range constructors {
+		exported[c] = true
+		if !have[c] {
+			missing = append(missing, c)
+		}
+	}
+	for _, c := range covered {
+		if !exported[c] {
+			stale = append(stale, c)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	return missing, stale
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestSchedulerConstructorsExtraction(t *testing.T) {
+	f := parseSrc(t, `package smq
+
+type Scheduler[T any] interface{}
+type Graph struct{}
+
+// NewFoo is a scheduler constructor.
+func NewFoo[T any](w int) Scheduler[T] { return nil }
+
+// NewQualified returns the interface through a package qualifier.
+func NewQualified[T any](w int) sched.Scheduler[T] { return nil }
+
+// NewGraph returns something else entirely and must be ignored.
+func NewGraph(n int) *Graph { return nil }
+
+// newHidden is unexported and must be ignored.
+func newHidden[T any](w int) Scheduler[T] { return nil }
+
+// BuildThing does not start with New.
+func BuildThing[T any](w int) Scheduler[T] { return nil }
+
+// NewNothing returns nothing.
+func NewNothing() {}
+
+type x struct{}
+
+// NewMethod is a method, not a top-level constructor.
+func (x) NewMethod() Scheduler[int] { return nil }
+`)
+	got := schedulerConstructors(f)
+	want := []string{"NewFoo", "NewQualified"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("schedulerConstructors = %v, want %v", got, want)
+	}
+}
+
+func TestCoveredConstructorsExtraction(t *testing.T) {
+	f := parseSrc(t, `package sched_test
+
+var unrelated = []string{"nope"}
+
+var rootConstructorsCovered = []string{
+	"NewB",
+	"NewA",
+}
+`)
+	got, err := coveredConstructors(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"NewA", "NewB"} // sorted
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("coveredConstructors = %v, want %v", got, want)
+	}
+}
+
+func TestCoveredConstructorsMissingList(t *testing.T) {
+	f := parseSrc(t, `package sched_test
+
+var somethingElse = []string{"NewA"}
+`)
+	if _, err := coveredConstructors(f); err == nil {
+		t.Fatal("expected an error when the coverage list is absent")
+	}
+}
+
+func TestDiffCoverage(t *testing.T) {
+	missing, stale := diffCoverage(
+		[]string{"NewA", "NewB", "NewC"},
+		[]string{"NewB", "NewC", "NewGone"})
+	if !reflect.DeepEqual(missing, []string{"NewA"}) {
+		t.Fatalf("missing = %v, want [NewA]", missing)
+	}
+	if !reflect.DeepEqual(stale, []string{"NewGone"}) {
+		t.Fatalf("stale = %v, want [NewGone]", stale)
+	}
+
+	missing, stale = diffCoverage([]string{"NewA"}, []string{"NewA"})
+	if len(missing) != 0 || len(stale) != 0 {
+		t.Fatalf("clean diff reported missing=%v stale=%v", missing, stale)
+	}
+}
+
+// TestGateFailsOnUncoveredConstructor runs the gate's pipeline end to
+// end against a synthetic repository: a root package exporting an
+// unlisted scheduler constructor must be flagged — the exact regression
+// the CI step exists to catch.
+func TestGateFailsOnUncoveredConstructor(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "root.go"), `package smq
+
+type Scheduler[T any] interface{}
+
+func NewCovered[T any](w int) Scheduler[T] { return nil }
+func NewSneaky[T any](w int) Scheduler[T] { return nil }
+`)
+	writeFile(t, filepath.Join(dir, conformancePath), `package sched_test
+
+var rootConstructorsCovered = []string{"NewCovered"}
+`)
+
+	constructors, err := schedulerConstructorsInDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, err := coveredConstructorsInFile(filepath.Join(dir, conformancePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, stale := diffCoverage(constructors, covered)
+	if !reflect.DeepEqual(missing, []string{"NewSneaky"}) {
+		t.Fatalf("missing = %v, want [NewSneaky]", missing)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale = %v, want none", stale)
+	}
+}
+
+// TestGateAgainstThisRepository runs the real gate against the real
+// repository: the root package and the conformance suite must agree, or
+// this test (and the CI step) fails.
+func TestGateAgainstThisRepository(t *testing.T) {
+	root := filepath.Join("..", "..")
+	constructors, err := schedulerConstructorsInDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(constructors) == 0 {
+		t.Fatal("no scheduler constructors found in the root package")
+	}
+	covered, err := coveredConstructorsInFile(filepath.Join(root, conformancePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, stale := diffCoverage(constructors, covered)
+	if len(missing) != 0 {
+		t.Errorf("root constructors missing from the conformance lineup: %v", missing)
+	}
+	if len(stale) != 0 {
+		t.Errorf("stale conformance coverage entries: %v", stale)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

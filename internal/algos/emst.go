@@ -128,7 +128,7 @@ func EuclideanMST(ps *geom.PointSet, k int, s sched.Scheduler[uint32]) (uint64, 
 	var pending sched.Pending
 	pending.Inc(int64(n))
 	for i := 0; i < n; i++ {
-		s.Worker(i % s.Workers()).Push(1, uint32(i))
+		s.Worker(i%s.Workers()).Push(1, uint32(i))
 	}
 
 	// Contraction locking differs from BoruvkaMST's try-lock-and-requeue

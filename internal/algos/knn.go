@@ -66,7 +66,7 @@ func knnRows(ps *geom.PointSet, k int, s sched.Scheduler[uint32]) ([][]geom.Neig
 	pending.Inc(int64(n))
 	p0 := uint64(geom.Weight(r0 * r0))
 	for i := 0; i < n; i++ {
-		s.Worker(i % s.Workers()).Push(p0, uint32(i))
+		s.Worker(i%s.Workers()).Push(p0, uint32(i))
 	}
 
 	// Per-worker scratch buffers for radius-query results.

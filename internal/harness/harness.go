@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emq"
 	"repro/internal/graph"
+	"repro/internal/klsm"
 	"repro/internal/mq"
 	"repro/internal/obim"
 	"repro/internal/sched"
@@ -188,7 +189,8 @@ type SchedulerSpec struct {
 // StandardSchedulers is the Figure 2 lineup — SMQ default + tuned, the
 // skip-list SMQ, the optimized NUMA-aware classic MQ, OBIM, PMOD,
 // SprayList and RELD — extended with the engineered MultiQueue of
-// Williams et al. (2021) as an additional comparison series.
+// Williams et al. (2021) and the k-LSM of Wimmer et al. (2015) as
+// additional comparison series.
 func StandardSchedulers() []SchedulerSpec {
 	return []SchedulerSpec{
 		// The first four entries are the headline lineup; root benchmarks
@@ -221,6 +223,7 @@ func StandardSchedulers() []SchedulerSpec {
 			},
 		},
 		EMQSpec("EMQ", 16, 16, 0),
+		KLSMSpec("kLSM", 256),
 		OBIMSpec("OBIM", 10, 64, false),
 		OBIMSpec("PMOD", 10, 64, true),
 		{
@@ -281,6 +284,26 @@ func EMQSpec(name string, stickiness, buffer, numaNodes int) SchedulerSpec {
 				InsertBuffer: buffer, DeleteBuffer: buffer,
 				NUMANodes: numaNodes,
 			})
+		},
+	}
+}
+
+// KLSMSpec builds a k-LSM spec with the given relaxation bound k (the
+// local-LSM capacity; klsm.Strict selects the exact k = 0 queue). The
+// Params label reports the effective k after klsm's normalization, so
+// the zero value is labelled with the default it actually runs.
+func KLSMSpec(name string, relaxation int) SchedulerSpec {
+	effective := relaxation
+	if effective == 0 {
+		effective = klsm.DefaultRelaxation
+	} else if effective < 0 {
+		effective = 0
+	}
+	return SchedulerSpec{
+		Name:   name,
+		Params: fmt.Sprintf("k=%d", effective),
+		Make: func(workers int) sched.Scheduler[uint32] {
+			return klsm.New[uint32](klsm.Config{Workers: workers, Relaxation: relaxation})
 		},
 	}
 }

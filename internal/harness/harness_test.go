@@ -71,7 +71,7 @@ func TestRegistryCoversPaperArtifacts(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig7", "fig9", "fig11", "fig13", "fig15", "fig19", "numa", "theory", "geom"} {
+	for _, want := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig7", "fig9", "fig11", "fig13", "fig15", "fig19", "emq", "klsm", "numa", "theory", "geom", "rankprobe"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -124,6 +124,27 @@ func TestSmallComparisonExperiment(t *testing.T) {
 	}
 	if len(tables) != 12 {
 		t.Fatalf("fig2 should emit 12 panels, got %d", len(tables))
+	}
+}
+
+func TestKLSMExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("klsm ablation experiment is slow")
+	}
+	tables, err := runKLSM(RunConfig{Scale: 1, Threads: []int{2}, Reps: 1, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("klsm should emit one table, got %d", len(tables))
+	}
+	tb := tables[0]
+	if len(tb.Header) != 1+len(klsmRelaxations) {
+		t.Fatalf("klsm header %v should have a column per relaxation", tb.Header)
+	}
+	if len(tb.Rows) != len(QuickWorkloads(1)) {
+		t.Fatalf("klsm table has %d rows, want one per quick workload (%d)",
+			len(tb.Rows), len(QuickWorkloads(1)))
 	}
 }
 

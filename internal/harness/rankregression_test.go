@@ -3,6 +3,8 @@ package harness
 import (
 	"math"
 	"testing"
+
+	"repro/internal/klsm"
 )
 
 // emqRankErrorBound documents the rank-quality envelope we hold the
@@ -18,6 +20,19 @@ import (
 // this at the probe's scale — see TestRankErrorRegression).
 func emqRankErrorBound(workers, c, deleteBuffer, stickiness int) float64 {
 	return float64(c*workers) * float64(deleteBuffer) * float64(stickiness)
+}
+
+// klsmRankErrorBound is the k-LSM's structural rank-error envelope in
+// lockstep (γ=0) mode: a relaxed DeleteMin takes the local minimum only
+// when it beats the global LSM's cached top, so the tasks it can skip
+// are confined to the other P−1 workers' local LSMs — at most k each —
+// plus up to P tasks already removed but still in flight. This is the
+// (P−1)·k + P bound documented in the internal/klsm package comment,
+// and unlike the EMQ envelope it is exact rather than empirical
+// headroom: the local-capacity invariant is enforced on every Push
+// (see klsm.TestRelaxationBoundHolds).
+func klsmRankErrorBound(workers, k int) float64 {
+	return float64((workers-1)*k + workers)
 }
 
 // TestRankErrorRegression pins the relative rank quality of the
@@ -61,6 +76,30 @@ func TestRankErrorRegression(t *testing.T) {
 			emqStats.MeanDisplacement)
 	}
 
+	const klsmK = 256
+	klsmStats := ProbeRankLockstep(KLSMSpec("kLSM", klsmK), workers, tasks)
+	if math.IsNaN(klsmStats.MeanDisplacement) || math.IsInf(klsmStats.MeanDisplacement, 0) {
+		t.Fatalf("k-LSM mean rank error is not finite: %v", klsmStats.MeanDisplacement)
+	}
+	klsmBound := klsmRankErrorBound(workers, klsmK)
+	if klsmStats.MeanDisplacement > klsmBound {
+		t.Errorf("k-LSM mean rank error %.2f exceeds structural bound %.0f",
+			klsmStats.MeanDisplacement, klsmBound)
+	}
+	// The worst single pop is covered by the same structural argument.
+	if float64(klsmStats.MaxDisplacement) > klsmBound {
+		t.Errorf("k-LSM max rank error %d exceeds structural bound %.0f",
+			klsmStats.MaxDisplacement, klsmBound)
+	}
+
+	// Strict mode (k=0) must be an exact queue: in lockstep the drain
+	// comes out perfectly sorted, matching the coarse-locked baseline.
+	strictStats := ProbeRankLockstep(KLSMSpec("kLSM strict", klsm.Strict), workers, tasks)
+	if strictStats.MeanDisplacement != 0 || strictStats.MaxDisplacement != 0 ||
+		strictStats.InversionFrac != 0 {
+		t.Errorf("strict k-LSM is not exact: %+v", strictStats)
+	}
+
 	smqStats := ProbeRankLockstep(SMQSpec("SMQ", 1, 1.0/8, 0), workers, tasks)
 	mqStats := ProbeRankLockstep(SchedulerSpec{Name: "MQ Classic", Make: ClassicMQBaseline},
 		workers, tasks)
@@ -69,6 +108,7 @@ func TestRankErrorRegression(t *testing.T) {
 			smqStats.MeanDisplacement, mqStats.MeanDisplacement)
 	}
 
-	t.Logf("lockstep mean rank error: EMQ=%.2f (bound %.0f) SMQ=%.2f MQ=%.2f",
-		emqStats.MeanDisplacement, bound, smqStats.MeanDisplacement, mqStats.MeanDisplacement)
+	t.Logf("lockstep mean rank error: EMQ=%.2f (bound %.0f) kLSM=%.2f (bound %.0f) SMQ=%.2f MQ=%.2f",
+		emqStats.MeanDisplacement, bound, klsmStats.MeanDisplacement, klsmBound,
+		smqStats.MeanDisplacement, mqStats.MeanDisplacement)
 }

@@ -65,6 +65,7 @@ func Registry() []Experiment {
 		{ID: "fig13", Paper: "Figures 13-14, Tables 10-11", Desc: "MQ insert=batch × delete=batch grid", Run: runFig13},
 		{ID: "fig15", Paper: "Figures 15-16", Desc: "best MQ optimization combinations side by side", Run: runFig15},
 		{ID: "emq", Paper: "Williams et al. 2021 (follow-up baseline)", Desc: "engineered MultiQueue stickiness × buffer-size ablation", Run: runEMQ},
+		{ID: "klsm", Paper: "Wimmer et al. 2015 (k-LSM baseline)", Desc: "k-LSM relaxation ablation (local-LSM bound k sweep)", Run: runKLSM},
 		{ID: "geom", Paper: "Rihani et al. 2014 (scenario extension)", Desc: "k-NN graph + Euclidean MST over point sets, schedulers × distributions", Run: runGeom},
 		{ID: "numa", Paper: "Tables 16-27", Desc: "NUMA weight K sweep for MQ and SMQ variants", Run: runNUMA},
 		{ID: "theory", Paper: "Theorem 1 (§3)", Desc: "rank bounds of the SMQ process vs the (1+β) coupling", Run: runTheory},
@@ -493,6 +494,51 @@ func runEMQ(cfg RunConfig) ([]Table, error) {
 		func(ri, ci int) SchedulerSpec {
 			return EMQSpec("EMQ", emqStickiness[ri], emqBuffers[ci], 0)
 		})
+}
+
+// ---------------------------------------------------------------------------
+// klsm: k-LSM relaxation ablation (Wimmer et al. 2015)
+
+// klsmRelaxations is the relaxation sweep of the klsm experiment: the
+// local-LSM capacity k spans strict-ish (4) to strongly relaxed (4096),
+// bracketing the k-LSM paper's headline k = 256.
+var klsmRelaxations = []int{4, 64, 256, 1024, 4096}
+
+// runKLSM measures the k-LSM across its relaxation sweep on the quick
+// workload set, one row per workload, cells speedup/work-increase
+// against the classic MQ baseline — the same normalization as the other
+// ablation grids, so the k-LSM columns are directly comparable to the
+// emq and fig1 tables.
+func runKLSM(cfg RunConfig) ([]Table, error) {
+	cfg.normalize()
+	ws := QuickWorkloads(cfg.Scale)
+	base, err := classicBaselines(ws, cfg.MaxThreads, cfg.Reps, cfg.Validate)
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"Benchmark"}
+	for _, k := range klsmRelaxations {
+		header = append(header, fmt.Sprintf("k=%d", k))
+	}
+	t := Table{
+		Title: fmt.Sprintf("k-LSM (Wimmer et al. 2015) — relaxation sweep (cells: speedup/work-increase vs classic MQ, %d threads)",
+			cfg.MaxThreads),
+		Header: header,
+	}
+	for _, w := range ws {
+		b := base[w.Name]
+		row := []string{w.Name}
+		for _, k := range klsmRelaxations {
+			m, err := Measure(w, KLSMSpec("kLSM", k), cfg.MaxThreads, cfg.Reps, cfg.Validate)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, speedupCell(safeRatio(b.Duration, m.Duration),
+				safeDiv(float64(m.Tasks), float64(b.Tasks))))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
 }
 
 // ---------------------------------------------------------------------------

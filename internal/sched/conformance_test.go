@@ -17,6 +17,7 @@ package sched_test
 // lock-free publication paths).
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -24,80 +25,153 @@ import (
 	"repro/internal/coarse"
 	"repro/internal/core"
 	"repro/internal/emq"
+	"repro/internal/klsm"
 	"repro/internal/mq"
 	"repro/internal/obim"
 	"repro/internal/sched"
 	"repro/internal/spray"
 )
 
+// conformanceCase is one scheduler configuration under test. covers
+// names the root-package (smq) New* constructors whose implementation
+// this case exercises; the union of all covers fields must equal
+// rootConstructorsCovered (see TestZooGateCoverageConsistent), which
+// cmd/zoogate in turn checks against the exported surface of package
+// smq — so a new root scheduler constructor cannot land without a
+// conformance entry.
+type conformanceCase struct {
+	name   string
+	covers []string
+	mk     func(workers int) sched.Scheduler[uint32]
+}
+
+// rootConstructorsCovered lists every exported New* scheduler
+// constructor of the root smq package that the conformance lineup
+// exercises (via the underlying implementation packages). cmd/zoogate
+// parses this literal and fails CI if package smq exports a scheduler
+// constructor that is missing here; TestZooGateCoverageConsistent fails
+// if an entry has no backing conformance case.
+var rootConstructorsCovered = []string{
+	"NewStealingMQ",
+	"NewStealingMQSkipList",
+	"NewMultiQueue",
+	"NewClassicMultiQueue",
+	"NewRELD",
+	"NewEngineeredMQ",
+	"NewKLSM",
+	"NewOBIM",
+	"NewPMOD",
+	"NewSprayList",
+}
+
 // conformanceSchedulers lists every scheduler constructor in the repo,
 // covering each distinct code path (policy combinations, buffer and
-// stickiness settings, NUMA sampling).
-func conformanceSchedulers() []struct {
-	name string
-	mk   func(workers int) sched.Scheduler[uint32]
-} {
-	return []struct {
-		name string
-		mk   func(workers int) sched.Scheduler[uint32]
-	}{
-		{"SMQ/heap", func(w int) sched.Scheduler[uint32] {
+// stickiness settings, relaxation bounds, NUMA sampling).
+func conformanceSchedulers() []conformanceCase {
+	return []conformanceCase{
+		{"SMQ/heap", []string{"NewStealingMQ"}, func(w int) sched.Scheduler[uint32] {
 			return core.NewStealingMQ[uint32](core.Config{Workers: w})
 		}},
-		{"SMQ/heap-insbatch", func(w int) sched.Scheduler[uint32] {
+		{"SMQ/heap-insbatch", nil, func(w int) sched.Scheduler[uint32] {
 			return core.NewStealingMQ[uint32](core.Config{Workers: w, InsertBatch: 8})
 		}},
-		{"SMQ/skiplist", func(w int) sched.Scheduler[uint32] {
+		{"SMQ/skiplist", []string{"NewStealingMQSkipList"}, func(w int) sched.Scheduler[uint32] {
 			return core.NewStealingMQSkipList[uint32](core.Config{Workers: w})
 		}},
-		{"MQ/classic", func(w int) sched.Scheduler[uint32] {
+		{"MQ/classic", []string{"NewMultiQueue", "NewClassicMultiQueue"}, func(w int) sched.Scheduler[uint32] {
 			return mq.New[uint32](mq.Classic(w, 4))
 		}},
-		{"MQ/temporal", func(w int) sched.Scheduler[uint32] {
+		{"MQ/temporal", nil, func(w int) sched.Scheduler[uint32] {
 			return mq.New[uint32](mq.Config{Workers: w, C: 4,
 				Insert: mq.InsertTemporalLocality, PInsertChange: 1.0 / 64,
 				Delete: mq.DeleteTemporalLocality, PDeleteChange: 1.0 / 64})
 		}},
-		{"MQ/batch", func(w int) sched.Scheduler[uint32] {
+		{"MQ/batch", nil, func(w int) sched.Scheduler[uint32] {
 			return mq.New[uint32](mq.Config{Workers: w, C: 4,
 				Insert: mq.InsertBatch, BatchInsert: 8,
 				Delete: mq.DeleteBatch, BatchDelete: 8})
 		}},
-		{"MQ/peektops", func(w int) sched.Scheduler[uint32] {
+		{"MQ/peektops", nil, func(w int) sched.Scheduler[uint32] {
 			return mq.New[uint32](mq.Config{Workers: w, C: 4, PeekTops: true})
 		}},
-		{"MQ/numa", func(w int) sched.Scheduler[uint32] {
+		{"MQ/numa", nil, func(w int) sched.Scheduler[uint32] {
 			return mq.New[uint32](mq.Config{Workers: w, C: 4, NUMANodes: 2, NUMAWeightK: 8})
 		}},
-		{"RELD", func(w int) sched.Scheduler[uint32] {
+		{"RELD", []string{"NewRELD"}, func(w int) sched.Scheduler[uint32] {
 			return mq.New[uint32](mq.RELD(w))
 		}},
-		{"OBIM", func(w int) sched.Scheduler[uint32] {
+		{"OBIM", []string{"NewOBIM"}, func(w int) sched.Scheduler[uint32] {
 			return obim.New[uint32](obim.Config{Workers: w, Delta: 10, ChunkSize: 64})
 		}},
-		{"PMOD", func(w int) sched.Scheduler[uint32] {
+		{"PMOD", []string{"NewPMOD"}, func(w int) sched.Scheduler[uint32] {
 			return obim.New[uint32](obim.Config{Workers: w, Delta: 10, ChunkSize: 64, Adaptive: true})
 		}},
-		{"SprayList", func(w int) sched.Scheduler[uint32] {
+		{"SprayList", []string{"NewSprayList"}, func(w int) sched.Scheduler[uint32] {
 			return spray.New[uint32](spray.Config{Workers: w})
 		}},
-		{"CoarseLock", func(w int) sched.Scheduler[uint32] {
+		{"CoarseLock", nil, func(w int) sched.Scheduler[uint32] {
 			return coarse.New[uint32](coarse.Config{Workers: w})
 		}},
-		{"EMQ/default", func(w int) sched.Scheduler[uint32] {
+		{"EMQ/default", []string{"NewEngineeredMQ"}, func(w int) sched.Scheduler[uint32] {
 			return emq.New[uint32](emq.Config{Workers: w})
 		}},
-		{"EMQ/unbuffered", func(w int) sched.Scheduler[uint32] {
+		{"EMQ/unbuffered", nil, func(w int) sched.Scheduler[uint32] {
 			return emq.New[uint32](emq.Config{Workers: w,
 				Stickiness: 1, InsertBuffer: 1, DeleteBuffer: 1})
 		}},
-		{"EMQ/bigbuf", func(w int) sched.Scheduler[uint32] {
+		{"EMQ/bigbuf", nil, func(w int) sched.Scheduler[uint32] {
 			return emq.New[uint32](emq.Config{Workers: w,
 				Stickiness: 64, InsertBuffer: 64, DeleteBuffer: 64})
 		}},
-		{"EMQ/numa", func(w int) sched.Scheduler[uint32] {
+		{"EMQ/numa", nil, func(w int) sched.Scheduler[uint32] {
 			return emq.New[uint32](emq.Config{Workers: w, NUMANodes: 2, NUMAWeightK: 8})
 		}},
+		{"KLSM/default", []string{"NewKLSM"}, func(w int) sched.Scheduler[uint32] {
+			return klsm.New[uint32](klsm.Config{Workers: w})
+		}},
+		{"KLSM/strict", nil, func(w int) sched.Scheduler[uint32] {
+			return klsm.New[uint32](klsm.Config{Workers: w, Relaxation: klsm.Strict})
+		}},
+		{"KLSM/k4", nil, func(w int) sched.Scheduler[uint32] {
+			return klsm.New[uint32](klsm.Config{Workers: w, Relaxation: 4})
+		}},
+		{"KLSM/k4096", nil, func(w int) sched.Scheduler[uint32] {
+			return klsm.New[uint32](klsm.Config{Workers: w, Relaxation: 4096})
+		}},
+	}
+}
+
+// TestZooGateCoverageConsistent keeps rootConstructorsCovered honest
+// from the inside: every listed root constructor must be claimed by at
+// least one conformance case's covers field, and no case may claim a
+// constructor that is not listed. (cmd/zoogate checks the same list
+// from the outside against package smq's exported surface.)
+func TestZooGateCoverageConsistent(t *testing.T) {
+	listed := map[string]bool{}
+	for _, name := range rootConstructorsCovered {
+		if listed[name] {
+			t.Errorf("rootConstructorsCovered lists %s twice", name)
+		}
+		listed[name] = true
+	}
+	claimed := map[string]string{}
+	for _, tc := range conformanceSchedulers() {
+		for _, name := range tc.covers {
+			if !listed[name] {
+				t.Errorf("case %s claims %s, which is not in rootConstructorsCovered", tc.name, name)
+			}
+			claimed[name] = tc.name
+		}
+	}
+	var missing []string
+	for name := range listed {
+		if claimed[name] == "" {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		t.Errorf("rootConstructorsCovered lists %s but no conformance case covers it", name)
 	}
 }
 

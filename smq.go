@@ -11,7 +11,11 @@
 // MultiQueues: Fast Relaxed Concurrent Priority Queues" (2021) — the
 // strongest published Multi-Queue follow-up, which augments the classic
 // design with queue stickiness and insertion/deletion buffers; see
-// NewEngineeredMQ and EMQConfig.
+// NewEngineeredMQ and EMQConfig — and the k-LSM of Wimmer, Gruber, Träff
+// and Tsigas, "The Lock-Free k-LSM Relaxed Priority Queue" (PPoPP 2015),
+// the strongest non-Multi-Queue baseline of the paper's evaluation: a
+// log-structured-merge queue whose relaxation is the explicit capacity
+// bound k of each worker's thread-local LSM; see NewKLSM and KLSMConfig.
 //
 // The workload zoo extends past the paper's CSR-graph benchmarks with a
 // geometric family — parallel k-nearest-neighbour graph construction and
@@ -65,6 +69,7 @@ import (
 	"repro/internal/emq"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/klsm"
 	"repro/internal/mq"
 	"repro/internal/obim"
 	"repro/internal/ranksim"
@@ -102,6 +107,15 @@ type MQConfig = mq.Config
 // (queue stickiness and insertion/deletion buffers over m = C·Workers
 // lock-protected heaps).
 type EMQConfig = emq.Config
+
+// KLSMConfig configures the k-LSM of Wimmer et al. (thread-local LSMs
+// of at most Relaxation tasks over a shared global LSM; Relaxation
+// KLSMStrict selects the exact k = 0 queue).
+type KLSMConfig = klsm.Config
+
+// KLSMStrict is the KLSMConfig.Relaxation value for the strict k = 0
+// configuration (exact priority order through the global LSM).
+const KLSMStrict = klsm.Strict
 
 // OBIMConfig configures the OBIM and PMOD baselines.
 type OBIMConfig = obim.Config
@@ -154,6 +168,15 @@ func NewRELD[T any](workers int) Scheduler[T] {
 // operations and with bounded per-worker insertion/deletion buffers.
 func NewEngineeredMQ[T any](cfg EMQConfig) Scheduler[T] {
 	return emq.New[T](cfg)
+}
+
+// NewKLSM builds the k-LSM of Wimmer, Gruber, Träff and Tsigas (PPoPP
+// 2015): per-worker log-structured-merge queues bounded by
+// cfg.Relaxation tasks, spilling whole sorted blocks into a shared
+// global LSM, with a relaxed DeleteMin that takes the better of the
+// local and global minima and may skip up to k tasks per other worker.
+func NewKLSM[T any](cfg KLSMConfig) Scheduler[T] {
+	return klsm.New[T](cfg)
 }
 
 // NewOBIM builds the Galois OBIM baseline (priority bags keyed by

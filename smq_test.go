@@ -15,7 +15,11 @@ func TestPublicAPISchedulers(t *testing.T) {
 		"mq_cfg": func() Scheduler[int] {
 			return NewMultiQueue[int](MQConfig{Workers: 2, Insert: InsertBatch, Delete: DeleteBatch})
 		},
-		"reld":  func() Scheduler[int] { return NewRELD[int](2) },
+		"reld": func() Scheduler[int] { return NewRELD[int](2) },
+		"klsm": func() Scheduler[int] { return NewKLSM[int](KLSMConfig{Workers: 2}) },
+		"klsm_strict": func() Scheduler[int] {
+			return NewKLSM[int](KLSMConfig{Workers: 2, Relaxation: KLSMStrict})
+		},
 		"obim":  func() Scheduler[int] { return NewOBIM[int](OBIMConfig{Workers: 2}) },
 		"pmod":  func() Scheduler[int] { return NewPMOD[int](OBIMConfig{Workers: 2}) },
 		"spray": func() Scheduler[int] { return NewSprayList[int](SprayConfig{Workers: 2}) },

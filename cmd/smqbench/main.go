@@ -1,4 +1,5 @@
-// Command smqbench regenerates the paper's tables and figures.
+// Command smqbench regenerates the paper's tables and figures, and
+// records the repository's performance trajectory.
 //
 // Usage:
 //
@@ -8,6 +9,21 @@
 //	smqbench -exp klsm -scale 1 -maxthreads 4
 //	smqbench -exp geom -scale 2 -maxthreads 4 -format tsv
 //	smqbench -exp all -format tsv > results.tsv
+//	smqbench -json BENCH_PR4.json
+//	smqbench -json - -benchworkers 2 -benchops 50000
+//	smqbench -exp fig2 -cpuprofile fig2.prof -memprofile fig2.mprof
+//
+// The -json mode runs the contended uniform-priority microbenchmark of
+// internal/perfbench over the whole scheduler lineup and writes a
+// schema-versioned JSON report (throughput, lock failures, allocs/op,
+// GC pause totals per scheduler) to the given path ("-" for stdout).
+// Committed as BENCH_PR<n>.json, these reports form the repo's recorded
+// perf trajectory; internal/perfbench.Validate gates their schema in CI.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the run
+// (any mode), so hot-path claims in optimisation PRs can be verified
+// with `go tool pprof` instead of taken on faith; the heap profile is
+// written at exit after a final GC.
 //
 // Every experiment prints the same row/series structure as the paper
 // artifact it reproduces (speedups and work increases per cell); see
@@ -29,11 +45,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/perfbench"
 )
 
 func main() {
@@ -46,8 +65,65 @@ func main() {
 		reps     = flag.Int("reps", 1, "repetitions per measurement (fastest kept)")
 		validate = flag.Bool("validate", false, "verify every run against sequential baselines")
 		format   = flag.String("format", "text", "output format: text or tsv")
+
+		jsonOut   = flag.String("json", "", "write the perf-trajectory JSON report to this path ('-' for stdout) instead of running experiments")
+		benchWrk  = flag.Int("benchworkers", 0, "-json: worker goroutines (default GOMAXPROCS)")
+		benchOps  = flag.Int("benchops", 0, "-json: pop+push pairs per worker (default 200000)")
+		benchPre  = flag.Int("benchprefill", 0, "-json: prefilled tasks (default 4096)")
+		benchSch  = flag.String("benchschedulers", "", "-json: comma-separated scheduler subset (default: full lineup)")
+		benchReps = flag.Int("benchreps", 1, "-json: repetitions per scheduler (fastest kept)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		benchSeed = flag.Uint64("benchseed", 1, "-json: RNG seed")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	if *jsonOut != "" {
+		var schedulers []string
+		for _, s := range strings.Split(*benchSch, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				schedulers = append(schedulers, s)
+			}
+		}
+		if err := runJSON(*jsonOut, perfbench.Config{
+			Workers:      *benchWrk,
+			Prefill:      *benchPre,
+			OpsPerWorker: *benchOps,
+			Seed:         *benchSeed,
+			Reps:         *benchReps,
+			Schedulers:   schedulers,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("Available experiments (smqbench -exp <id>):")
@@ -97,6 +173,34 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "done %s in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runJSON runs the perf-trajectory microbenchmark, validates the report
+// against the schema, and writes it to path ("-" for stdout).
+func runJSON(path string, cfg perfbench.Config) error {
+	fmt.Fprintf(os.Stderr, "running perf-trajectory microbench (workers=%d)...\n", cfg.Workers)
+	start := time.Now()
+	report, err := perfbench.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := perfbench.Validate(report); err != nil {
+		return fmt.Errorf("generated report fails schema validation: %w", err)
+	}
+	data, err := perfbench.Marshal(report)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "done %d schedulers in %v\n", len(report.Results), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func parseThreads(s string) ([]int, error) {

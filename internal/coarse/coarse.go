@@ -12,8 +12,8 @@ package coarse
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/contend"
 	"repro/internal/pq"
 	"repro/internal/sched"
 )
@@ -26,10 +26,13 @@ type Config struct {
 	HeapArity int
 }
 
-// Sched is the coarse-locked global priority queue.
+// Sched is the coarse-locked global priority queue. The lock word sits
+// on its own cache line: with every worker hammering it, sharing a line
+// with the heap pointer would add a second invalidation per operation.
 type Sched[T any] struct {
 	cfg      Config
-	mu       sync.Mutex
+	mu       contend.Lock
+	_        [contend.CacheLineSize - 4]byte
 	heap     *pq.DHeap[T]
 	workers  []worker[T]
 	counters []sched.Counters

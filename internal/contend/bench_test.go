@@ -1,0 +1,88 @@
+package contend
+
+import (
+	"sync"
+	"testing"
+)
+
+// These microbenchmarks test the premise of the sync.Mutex → contend.Lock
+// swap in the scheduler queue headers: the spinlock must win (or at least
+// tie) on the uncontended acquire/release pair that dominates Multi-Queue
+// hot paths, and must not collapse under the moderate contention the
+// two-choice discipline produces.
+
+// benchLocker measures exactly `goroutines` goroutines hammering one
+// lock (RunParallel+SetParallelism would multiply by GOMAXPROCS, making
+// "2-way" mean 2×cores and the measured operating point machine-
+// dependent).
+func benchLocker(b *testing.B, l sync.Locker, goroutines int) {
+	b.Helper()
+	var wg sync.WaitGroup
+	per := b.N/goroutines + 1
+	b.ResetTimer()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkContend_Lock_Uncontended(b *testing.B) {
+	var l Lock
+	for i := 0; i < b.N; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+}
+
+func BenchmarkContend_Mutex_Uncontended(b *testing.B) {
+	var mu sync.Mutex
+	for i := 0; i < b.N; i++ {
+		mu.Lock()
+		mu.Unlock()
+	}
+}
+
+func BenchmarkContend_TryLock_Uncontended(b *testing.B) {
+	var l Lock
+	for i := 0; i < b.N; i++ {
+		if l.TryLock() {
+			l.Unlock()
+		}
+	}
+}
+
+func BenchmarkContend_MutexTryLock_Uncontended(b *testing.B) {
+	var mu sync.Mutex
+	for i := 0; i < b.N; i++ {
+		if mu.TryLock() {
+			mu.Unlock()
+		}
+	}
+}
+
+func BenchmarkContend_Lock_Contended2(b *testing.B) {
+	var l Lock
+	benchLocker(b, &l, 2)
+}
+
+func BenchmarkContend_Mutex_Contended2(b *testing.B) {
+	var mu sync.Mutex
+	benchLocker(b, &mu, 2)
+}
+
+func BenchmarkContend_Lock_Contended8(b *testing.B) {
+	var l Lock
+	benchLocker(b, &l, 8)
+}
+
+func BenchmarkContend_Mutex_Contended8(b *testing.B) {
+	var mu sync.Mutex
+	benchLocker(b, &mu, 8)
+}

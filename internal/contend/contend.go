@@ -1,0 +1,134 @@
+// Package contend provides the contention-control primitives shared by
+// every scheduler hot path in this repository: a test-and-test-and-set
+// (TATAS) try-spinlock with bounded exponential backoff, and cache-line
+// padding helpers that keep independently-mutated hot words off each
+// other's cache lines.
+//
+// # Why a spinlock
+//
+// The Multi-Queue discipline (§2.1 of the paper, Listing 1) is built
+// around TRY-locking: a contended queue is not waited for, it is
+// abandoned for a fresh random sample. Critical sections are tiny — one
+// heap operation plus a cached-top store — so when a worker does decide
+// to block (the cold sweep paths), parking the goroutine in the futex
+// layer of sync.Mutex costs far more than the critical section it waits
+// for. A TATAS spinlock makes TryLock a single load-then-CAS, keeps the
+// uncontended Lock/Unlock pair to two atomic operations on a word the
+// owner already has in cache, and spins briefly — with exponential
+// backoff, then runtime.Gosched so single-P schedules cannot livelock —
+// when it must wait. Rihani, Sanders and Dementiev (2014) and Williams
+// et al. (2021) both report that exactly this cheap-uncontended-lock
+// property carries a large fraction of MultiQueue throughput.
+//
+// # Why padding
+//
+// False sharing is the other half of the story: m queue headers or P
+// worker states packed densely into one slice means every lock CAS and
+// every counter increment invalidates neighbouring elements' cache
+// lines. CacheLineSize, Padded and the explicit pad arrays used by the
+// scheduler packages round hot structures up to cache-line multiples so
+// that unrelated workers never write the same line.
+//
+// All synchronization in this package goes through sync/atomic, so the
+// race detector observes the same happens-before edges a sync.Mutex
+// would provide: an Unlock's atomic store releases everything written in
+// the critical section to the next successful TryLock/Lock CAS.
+package contend
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheLineSize is the assumed coherence granularity in bytes. 64 is
+// correct for every mainstream x86-64 and arm64 part this repository
+// targets; being wrong in either direction costs a little memory or a
+// little sharing, never correctness.
+const CacheLineSize = 64
+
+// Lock is a TATAS try-spinlock. The zero value is an unlocked Lock. It
+// satisfies sync.Locker, so it is a drop-in replacement for sync.Mutex
+// in the scheduler queue headers, and like sync.Mutex it must not be
+// copied after first use.
+//
+// Lock is intentionally unfair: under contention the acquirer is
+// whichever spinner's CAS lands first. The schedulers tolerate this by
+// design — their blocking acquisitions sit on cold paths (sweeps,
+// global-LSM spills) where bounded backoff plus Gosched guarantees
+// progress, while the hot paths only ever TryLock.
+type Lock struct {
+	state atomic.Uint32
+}
+
+var _ sync.Locker = (*Lock)(nil)
+
+// TryLock attempts to acquire l without waiting. It is a bare CAS, not
+// a test-and-CAS: every TryLock caller in the schedulers reacts to
+// failure by resampling a different queue rather than retrying the same
+// lock, so the test's protection against CAS-looping on a held line is
+// not needed here and would only lengthen the (hot) uncontended path.
+// The spinning acquirer in lockSlow does test before CASing.
+func (l *Lock) TryLock() bool {
+	return l.state.CompareAndSwap(0, 1)
+}
+
+// Lock acquires l, spinning with bounded exponential backoff and then
+// yielding the processor until the lock is free.
+func (l *Lock) Lock() {
+	if l.state.CompareAndSwap(0, 1) {
+		return
+	}
+	l.lockSlow()
+}
+
+// lockSlow is kept out of Lock so the uncontended fast path stays within
+// the compiler's inlining budget at call sites.
+func (l *Lock) lockSlow() {
+	const maxSpinShift = 6 // cap the busy-wait at 2^6 iterations per probe
+	shift := 0
+	for {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		if shift < maxSpinShift {
+			// Bounded exponential busy-wait: cheap while the holder is
+			// inside its (tiny) critical section on another P.
+			for i := 0; i < 1<<shift; i++ {
+				_ = i
+			}
+			shift++
+		} else {
+			// Past the bound the holder is likely descheduled (or we are
+			// single-P); hand the processor over instead of burning it.
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases l. It panics when l is not locked, matching
+// sync.Mutex's contract for unlock-of-unlocked misuse.
+func (l *Lock) Unlock() {
+	if l.state.Swap(0) != 1 {
+		panic("contend: Unlock of unlocked Lock")
+	}
+}
+
+// Padded wraps a value in trailing cache-line padding. Any two Padded
+// values stored in distinct slice elements (or struct fields) are
+// separated by at least CacheLineSize bytes, so a write to one Value can
+// never invalidate a line holding a neighbour's — Go offers no portable
+// way to align a slice's base, but with a full line of separation no two
+// word-sized hot fields can cohabit a line regardless of the base
+// address.
+//
+// Use it for slices of per-worker or per-queue state whose element type
+// is not worth hand-padding (internal/spray's worker slice is the
+// in-tree example); structs with several hot words to separate from
+// each other (the schedulers' queue headers, the k-LSM global) carry
+// explicit pad arrays instead, hand-sized so each hot word gets its own
+// line.
+type Padded[T any] struct {
+	Value T
+	_     [CacheLineSize]byte
+}

@@ -1,0 +1,117 @@
+package contend
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestLockTryLock(t *testing.T) {
+	var l Lock
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on a fresh Lock")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded on a held Lock")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock failed after Unlock")
+	}
+	l.Unlock()
+}
+
+func TestLockIsALocker(t *testing.T) {
+	// The swap sites in the schedulers rely on Lock being usable
+	// anywhere a sync.Locker is expected.
+	var l Lock
+	var locker sync.Locker = &l
+	locker.Lock()
+	locker.Unlock()
+}
+
+func TestUnlockOfUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of an unlocked Lock did not panic")
+		}
+	}()
+	var l Lock
+	l.Unlock()
+}
+
+// TestLockMutualExclusion hammers one lock from many goroutines and
+// checks that a plain (non-atomic) counter never loses an increment —
+// under -race this also verifies the happens-before story of the
+// atomic-based acquire/release.
+func TestLockMutualExclusion(t *testing.T) {
+	const goroutines = 8
+	const perG = 20000
+	var l Lock
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*perG {
+		t.Fatalf("counter = %d, want %d (lost increments => broken mutual exclusion)", counter, goroutines*perG)
+	}
+}
+
+// TestLockMixedTryAndBlocking interleaves TryLock spinners with blocking
+// Lock callers, the exact mix the Multi-Queue hot/cold paths produce.
+func TestLockMixedTryAndBlocking(t *testing.T) {
+	const goroutines = 6
+	const perG = 10000
+	var l Lock
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if g%2 == 0 {
+					for !l.TryLock() {
+					}
+				} else {
+					l.Lock()
+				}
+				counter++
+				l.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if counter != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*perG)
+	}
+}
+
+func TestPaddedSeparation(t *testing.T) {
+	// Two adjacent slice elements' Values must be at least a cache line
+	// apart, whatever the slice's base alignment.
+	cells := make([]Padded[uint64], 2)
+	a := uintptr(unsafe.Pointer(&cells[0].Value))
+	b := uintptr(unsafe.Pointer(&cells[1].Value))
+	if b-a < CacheLineSize {
+		t.Fatalf("adjacent Padded values only %d bytes apart, want >= %d", b-a, CacheLineSize)
+	}
+}
+
+func TestLockSize(t *testing.T) {
+	// The queue headers hand-pad around Lock; a size change must be
+	// noticed there, so pin it.
+	if sz := unsafe.Sizeof(Lock{}); sz != 4 {
+		t.Fatalf("Lock size = %d, want 4 (queue-header pad arithmetic depends on it)", sz)
+	}
+}

@@ -37,6 +37,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/contend"
 	"repro/internal/numa"
 	"repro/internal/pq"
 	"repro/internal/sched"
@@ -133,13 +134,16 @@ type SMQ[T any] struct {
 	counters []sched.Counters
 }
 
-// smqWorker is the per-goroutine handle.
+// smqWorker is the per-goroutine handle. The RNG and NUMA sampler are
+// embedded by value: both mutate on every operation, and as separate
+// heap allocations two workers' generators could share a cache line;
+// inside the padded worker struct they cannot.
 type smqWorker[T any] struct {
 	s   *SMQ[T]
 	id  int
 	q   stealQueue[T]
-	rng *xrand.Rand
-	smp *numa.Sampler
+	rng xrand.Rand
+	smp numa.Sampler
 	c   *sched.Counters
 
 	// stolen holds surplus tasks from the last stolen batch, consumed
@@ -149,6 +153,11 @@ type smqWorker[T any] struct {
 
 	// insBuf accumulates local pushes when InsertBatch > 1.
 	insBuf []pq.Item[T]
+
+	// Workers sit in one contiguous slice and mutate stolenIdx and the
+	// buffer headers on every operation; a trailing cache line keeps
+	// those hot words off the neighbouring worker's line.
+	_ [contend.CacheLineSize]byte
 }
 
 // NewStealingMQ builds the heap-based SMQ (the paper's headline variant).
@@ -189,15 +198,13 @@ func (s *SMQ[T]) initWorkers() {
 		k = s.cfg.NUMAWeightK
 	}
 	for i := range s.workers {
-		rng := xrand.New(s.cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
-		s.workers[i] = smqWorker[T]{
-			s:   s,
-			id:  i,
-			q:   s.queues[i],
-			rng: rng,
-			smp: numa.NewSampler(s.topo, i, k, rng),
-			c:   &s.counters[i],
-		}
+		w := &s.workers[i]
+		w.s = s
+		w.id = i
+		w.q = s.queues[i]
+		w.rng.Seed(s.cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+		w.smp = *numa.NewSampler(s.topo, i, k, &w.rng)
+		w.c = &s.counters[i]
 	}
 }
 

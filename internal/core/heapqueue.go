@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"repro/internal/contend"
 	"repro/internal/pq"
 )
 
@@ -19,13 +20,20 @@ import (
 // it loaded carries the epoch it saw in state and then CASes the stolen
 // bit in; the single successful CAS for an epoch owns the whole batch.
 type heapQueue[T any] struct {
-	heap      *pq.DHeap[T] // owner-only
+	// Owner-only words: the heap pointer and batch size are touched on
+	// every local push/pop but never by thieves.
+	heap      *pq.DHeap[T]
 	stealSize int
+	_         [contend.CacheLineSize - 16]byte // owner words get their own line
 
+	// Thief-shared words: every victim probe loads state (and often
+	// buf), and every steal CASes state. Isolating the epoch word on its
+	// own line means thieves' CAS traffic never invalidates the owner's
+	// heap-pointer line, and padding the tail keeps the next queue's
+	// header out too.
 	buf   atomic.Pointer[stealBatch[T]]
 	state atomic.Uint64 // epoch<<1 | stolen
-
-	_ [40]byte // keep neighbouring queues' hot words off this cache line
+	_     [contend.CacheLineSize - 16]byte
 }
 
 // stealBatch is an immutable published batch. items is never mutated

@@ -44,10 +44,17 @@ const maxLevel = 20
 // mutated only while the owning predecessor locks are held, but always
 // through atomic stores so that lock-free readers are safe.
 type node[T any] struct {
-	prio        uint64
-	seq         uint64
-	value       T
-	next        []atomic.Pointer[node[T]]
+	prio  uint64
+	seq   uint64
+	value T
+	next  []atomic.Pointer[node[T]]
+	// mu stays a sync.Mutex deliberately: unlike the Multi-Queue queue
+	// headers (tiny critical sections, try-lock discipline — see
+	// internal/contend), skip-list mutations hold several node locks
+	// nested across validate-and-retry loops, so waiters are frequent
+	// and hold times long. A TATAS spinlock here convoys badly (a
+	// measured ~30x slowdown of the -race suite); a parking lock is the
+	// right primitive.
 	mu          sync.Mutex
 	marked      atomic.Bool
 	fullyLinked atomic.Bool

@@ -42,9 +42,9 @@ package emq
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/contend"
 	"repro/internal/numa"
 	"repro/internal/pq"
 	"repro/internal/sched"
@@ -117,32 +117,51 @@ func (c *Config) normalize() {
 // cached top is maintained under the lock and read lock-free by the
 // sticky two-choice comparison (the engineered MultiQueue never locks a
 // queue just to inspect its top).
+//
+// The queues live in one contiguous slice, hand-padded to exactly one
+// cache line (mu 4B + 4B alignment + heap pointer 8B + top 8B = 24B,
+// plus 40B pad) so adjacent queues' lock words and cached tops never
+// share a line; see TestLockQueuePadding.
 type lockQueue[T any] struct {
-	mu   sync.Mutex
+	mu   contend.Lock
 	heap *pq.DHeap[T]
 	top  atomic.Uint64 // cached heap top (InfPriority when empty)
-	_    [24]byte      // separate neighbouring queues' hot words
+	_    [contend.CacheLineSize - 24]byte
 }
 
 // The helpers below must be called with q.mu held; they keep the cached
-// top coherent with the heap.
+// top coherent with the heap. The engineered MultiQueue always operates
+// in bulk (buffer flushes and batch refills), so the atomic top store —
+// a full fence on amd64 — is paid once per batch, not once per task,
+// and only when the top actually changed.
 
-func (q *lockQueue[T]) pushItem(it pq.Item[T]) {
-	q.heap.PushItem(it)
-	q.top.Store(q.heap.Top())
+func (q *lockQueue[T]) pushAll(items []pq.Item[T]) {
+	for _, it := range items {
+		q.heap.PushItem(it)
+	}
+	q.syncTop()
 }
 
 func (q *lockQueue[T]) popBatch(k int, dst []pq.Item[T]) []pq.Item[T] {
 	dst = q.heap.PopBatch(k, dst)
-	q.top.Store(q.heap.Top())
+	q.syncTop()
 	return dst
+}
+
+// syncTop refreshes the lock-free cached top, skipping the (fencing)
+// atomic store when the heap top is unchanged — e.g. a flushed batch
+// whose best task is worse than the resident top.
+func (q *lockQueue[T]) syncTop() {
+	if t := q.heap.Top(); t != q.top.Load() {
+		q.top.Store(t)
+	}
 }
 
 // EMQ is the engineered MultiQueue scheduler.
 type EMQ[T any] struct {
 	cfg      Config
 	topo     numa.Topology
-	queues   []*lockQueue[T]
+	queues   []lockQueue[T] // contiguous, each element one padded cache line
 	workers  []worker[T]
 	counters []sched.Counters
 }
@@ -153,12 +172,12 @@ func New[T any](cfg Config) *EMQ[T] {
 	s := &EMQ[T]{
 		cfg:      cfg,
 		topo:     numa.New(cfg.Workers, max(cfg.NUMANodes, 1), cfg.C),
-		queues:   make([]*lockQueue[T], cfg.Workers*cfg.C),
+		queues:   make([]lockQueue[T], cfg.Workers*cfg.C),
 		workers:  make([]worker[T], cfg.Workers),
 		counters: make([]sched.Counters, cfg.Workers),
 	}
 	for i := range s.queues {
-		s.queues[i] = &lockQueue[T]{heap: pq.NewDHeapCap[T](cfg.HeapArity, 64)}
+		s.queues[i].heap = pq.NewDHeapCap[T](cfg.HeapArity, 64)
 		s.queues[i].top.Store(pq.InfPriority)
 	}
 	k := 1.0
@@ -166,12 +185,11 @@ func New[T any](cfg Config) *EMQ[T] {
 		k = cfg.NUMAWeightK
 	}
 	for i := range s.workers {
-		rng := xrand.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
 		w := &s.workers[i]
 		w.s = s
 		w.id = i
-		w.rng = rng
-		w.smp = numa.NewSampler(s.topo, i, k, rng)
+		w.rng.Seed(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+		w.smp = *numa.NewSampler(s.topo, i, k, &w.rng)
 		w.c = &s.counters[i]
 		w.insBuf = make([]pq.Item[T], 0, cfg.InsertBuffer)
 		w.delBuf = make([]pq.Item[T], 0, cfg.DeleteBuffer)
@@ -201,12 +219,15 @@ func (s *EMQ[T]) Stats() sched.Stats {
 	return sched.SumCounters(s.counters)
 }
 
-// worker is the per-goroutine handle with all thread-local state.
+// worker is the per-goroutine handle with all thread-local state. The
+// RNG and NUMA sampler are embedded by value: both mutate on every
+// operation, and as separate heap allocations two workers' generators
+// could share a cache line; inside the padded worker struct they cannot.
 type worker[T any] struct {
 	s   *EMQ[T]
 	id  int
-	rng *xrand.Rand
-	smp *numa.Sampler
+	rng xrand.Rand
+	smp numa.Sampler
 	c   *sched.Counters
 
 	sticky [2]int // the sticky queue pair
@@ -217,6 +238,11 @@ type worker[T any] struct {
 	delIdx int
 
 	sweepSkip []int // queues the sweep's try-lock pass skipped (reused)
+
+	// Workers sit in one contiguous slice and mutate stick/delIdx on
+	// every operation; a trailing cache line keeps those hot words off
+	// the neighbouring worker's line.
+	_ [contend.CacheLineSize]byte
 }
 
 // resample draws a fresh sticky queue pair (NUMA-weighted when
@@ -273,11 +299,9 @@ func (w *worker[T]) flushInserts() {
 		slot = 1
 	}
 	for {
-		q := w.s.queues[w.sticky[slot]]
+		q := &w.s.queues[w.sticky[slot]]
 		if q.mu.TryLock() {
-			for _, it := range w.insBuf {
-				q.pushItem(it)
-			}
+			q.pushAll(w.insBuf)
 			q.mu.Unlock()
 			clear(w.insBuf)
 			w.insBuf = w.insBuf[:0]
@@ -328,7 +352,7 @@ func (w *worker[T]) refill() bool {
 		if w.s.queues[w.sticky[1]].top.Load() < w.s.queues[w.sticky[0]].top.Load() {
 			slot = 1
 		}
-		q := w.s.queues[w.sticky[slot]]
+		q := &w.s.queues[w.sticky[slot]]
 		if q.top.Load() == pq.InfPriority {
 			// Both cached tops are infinite: the pair looks drained.
 			w.resample()
@@ -367,7 +391,7 @@ func (w *worker[T]) sweepRefill() bool {
 		if qi >= m {
 			qi -= m
 		}
-		q := w.s.queues[qi]
+		q := &w.s.queues[qi]
 		if !q.mu.TryLock() {
 			w.c.LockFails++
 			w.sweepSkip = append(w.sweepSkip, qi)
@@ -381,7 +405,7 @@ func (w *worker[T]) sweepRefill() bool {
 		}
 	}
 	for _, qi := range w.sweepSkip {
-		q := w.s.queues[qi]
+		q := &w.s.queues[qi]
 		q.mu.Lock()
 		w.delBuf = q.popBatch(w.s.cfg.DeleteBuffer, w.delBuf[:0])
 		w.delIdx = 0

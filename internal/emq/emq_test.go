@@ -188,7 +188,7 @@ func TestSweepRefillDoesNotBlockOnHeldLock(t *testing.T) {
 	s := New[int](Config{Workers: 1, C: 4, DeleteBuffer: 4})
 	// Plant a task directly in queue 2, keeping its cached top coherent.
 	s.queues[2].mu.Lock()
-	s.queues[2].pushItem(pq.Item[int]{P: 5, V: 50})
+	s.queues[2].pushAll([]pq.Item[int]{{P: 5, V: 50}})
 	s.queues[2].mu.Unlock()
 	// Hold queue 0's lock for the whole test.
 	s.queues[0].mu.Lock()

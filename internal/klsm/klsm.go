@@ -47,9 +47,9 @@ package klsm
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/contend"
 	"repro/internal/pq"
 	"repro/internal/sched"
 )
@@ -106,9 +106,62 @@ func (b *block[T]) top() uint64 {
 	return b.items[b.head].P
 }
 
-// mergeBlocks merges the live runs of a and b into a fresh sorted block.
-func mergeBlocks[T any](a, b *block[T]) *block[T] {
-	out := make([]pq.Item[T], 0, a.size()+b.size())
+// maxFreeBlocks bounds each LSM's block pool. Merging two blocks frees
+// two and allocates one, so a small pool absorbs the whole steady-state
+// churn; anything beyond it is released to the GC.
+const maxFreeBlocks = 8
+
+// lsm is a log-structured merge structure: blocks ordered oldest (and
+// largest) first, live sizes decreasing geometrically. It is not
+// synchronized; the local LSMs are single-owner and the global LSM
+// wraps one behind a mutex.
+//
+// Merged-away blocks are recycled through a per-LSM slab pool instead
+// of being dropped to the allocator: every Push creates a singleton
+// block and the merge discipline constantly retires blocks, which made
+// the merge path the repository's only steady-state allocation site
+// (~3 allocs per insert). Pools are per-LSM, so recycling needs no
+// synchronization beyond what already guards the LSM itself.
+type lsm[T any] struct {
+	blocks []*block[T]
+	n      int // total live tasks
+	free   []*block[T]
+}
+
+// getBlock returns a recycled block whose backing array can hold n
+// items, growing a pooled slab if necessary; the returned block has
+// head 0 and empty items.
+func (l *lsm[T]) getBlock(n int) *block[T] {
+	if len(l.free) == 0 {
+		return &block[T]{items: make([]pq.Item[T], 0, n)}
+	}
+	b := l.free[len(l.free)-1]
+	l.free[len(l.free)-1] = nil
+	l.free = l.free[:len(l.free)-1]
+	if cap(b.items) < n {
+		b.items = make([]pq.Item[T], 0, n)
+	}
+	return b
+}
+
+// putBlock recycles a block's header and backing array, zeroing every
+// slot (including the consumed prefix) so pooled slabs never pin task
+// payloads.
+func (l *lsm[T]) putBlock(b *block[T]) {
+	if len(l.free) >= maxFreeBlocks {
+		return
+	}
+	clear(b.items[:cap(b.items)])
+	b.items = b.items[:0]
+	b.head = 0
+	l.free = append(l.free, b)
+}
+
+// mergeBlocks merges the live runs of a and b into a block drawn from
+// the pool, recycling both inputs.
+func (l *lsm[T]) mergeBlocks(a, b *block[T]) *block[T] {
+	nb := l.getBlock(a.size() + b.size())
+	out := nb.items
 	i, j := a.head, b.head
 	for i < len(a.items) && j < len(b.items) {
 		if a.items[i].P <= b.items[j].P {
@@ -121,26 +174,24 @@ func mergeBlocks[T any](a, b *block[T]) *block[T] {
 	}
 	out = append(out, a.items[i:]...)
 	out = append(out, b.items[j:]...)
-	return &block[T]{items: out}
-}
-
-// lsm is a log-structured merge structure: blocks ordered oldest (and
-// largest) first, live sizes decreasing geometrically. It is not
-// synchronized; the local LSMs are single-owner and the global LSM
-// wraps one behind a mutex.
-type lsm[T any] struct {
-	blocks []*block[T]
-	n      int // total live tasks
+	nb.items = out
+	l.putBlock(a)
+	l.putBlock(b)
+	return nb
 }
 
 // insertItem appends a singleton block and restores the geometric size
 // invariant by merging trailing blocks.
 func (l *lsm[T]) insertItem(p uint64, v T) {
-	l.insertBlock(&block[T]{items: []pq.Item[T]{{P: p, V: v}}})
+	nb := l.getBlock(1)
+	nb.items = append(nb.items, pq.Item[T]{P: p, V: v})
+	l.insertBlock(nb)
 }
 
 // insertBlock adds a sorted block, then merges while the last block has
 // grown to at least its predecessor's size (the LSM merge discipline).
+// The block's ownership transfers to l (it may be recycled into l's
+// pool by a later merge), so callers must not retain it.
 func (l *lsm[T]) insertBlock(nb *block[T]) {
 	if nb.size() == 0 {
 		return
@@ -153,7 +204,7 @@ func (l *lsm[T]) insertBlock(nb *block[T]) {
 		if last.size() < prev.size() {
 			break
 		}
-		l.blocks[len(l.blocks)-2] = mergeBlocks(prev, last)
+		l.blocks[len(l.blocks)-2] = l.mergeBlocks(prev, last)
 		l.blocks[len(l.blocks)-1] = nil
 		l.blocks = l.blocks[:len(l.blocks)-1]
 	}
@@ -191,6 +242,7 @@ func (l *lsm[T]) pop() (pq.Item[T], bool) {
 	l.n--
 	if b.size() == 0 {
 		l.blocks = append(l.blocks[:bi], l.blocks[bi+1:]...)
+		l.putBlock(b)
 	}
 	return it, true
 }
@@ -214,12 +266,20 @@ func (l *lsm[T]) removeLargest() *block[T] {
 	return b
 }
 
-// globalLSM is the shared spill target: one LSM behind a mutex, its
-// minimum priority mirrored in an atomic word for lock-free peeking.
+// globalLSM is the shared spill target: one LSM behind a try-first
+// spinlock, its minimum priority mirrored in an atomic word for
+// lock-free peeking. The lock word and the peeked top are the two
+// cross-worker contention points, so each gets its own cache line —
+// including a leading pad, so that embedding globalLSM after other
+// fields (KLSM.cfg, which every Push reads) cannot put those fields on
+// the lock word's line. TestGlobalLSMLayout pins this.
 type globalLSM[T any] struct {
-	mu  sync.Mutex
-	l   lsm[T]
+	_   [contend.CacheLineSize]byte
+	mu  contend.Lock
+	_   [contend.CacheLineSize - 4]byte
 	top atomic.Uint64
+	_   [contend.CacheLineSize - 8]byte
+	l   lsm[T]
 }
 
 // lock acquires the global lock, counting a failed fast-path try-lock
@@ -303,6 +363,11 @@ type worker[T any] struct {
 	local lsm[T]
 
 	spill []*block[T] // reusable scratch for overflow batches
+
+	// Workers sit in one contiguous slice and mutate their local LSM
+	// headers on every operation; a trailing cache line keeps them off
+	// the neighbouring worker's line.
+	_ [contend.CacheLineSize]byte
 }
 
 // Push inserts into the local LSM, spilling the largest local blocks to

@@ -1,0 +1,28 @@
+package klsm
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestGlobalLSMLayout checks that the global LSM's two cross-worker
+// contention points — the lock word and the peeked top — cannot share a
+// cache line with each other, with the LSM body, or with the fields
+// preceding the embedded globalLSM in KLSM (cfg.Relaxation is read by
+// every Push; a spill's lock CAS must not invalidate it).
+func TestGlobalLSMLayout(t *testing.T) {
+	var k KLSM[int]
+	cfgEnd := unsafe.Offsetof(k.cfg) + unsafe.Sizeof(k.cfg)
+	muOff := unsafe.Offsetof(k.global) + unsafe.Offsetof(k.global.mu)
+	topOff := unsafe.Offsetof(k.global) + unsafe.Offsetof(k.global.top)
+	lOff := unsafe.Offsetof(k.global) + unsafe.Offsetof(k.global.l)
+	if muOff-cfgEnd < 64 {
+		t.Fatalf("global lock word only %d bytes past cfg, want >= 64", muOff-cfgEnd)
+	}
+	if topOff-muOff < 64 {
+		t.Fatalf("peeked top only %d bytes past the lock word, want >= 64", topOff-muOff)
+	}
+	if lOff-topOff < 64 {
+		t.Fatalf("LSM body only %d bytes past the peeked top, want >= 64", lOff-topOff)
+	}
+}

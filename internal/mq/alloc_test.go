@@ -1,0 +1,59 @@
+//go:build !race
+
+// testing.AllocsPerRun under the race detector measures the
+// instrumentation's allocations, not the scheduler's; CI runs these
+// through a dedicated non-race step.
+
+package mq
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// warmWalk grows every internal structure to steady-state size: push a
+// working set, drain half, so the random-walk pairs below never grow a
+// heap or buffer again.
+func warmWalk(w sched.Worker[int], rng *xrand.Rand) {
+	for i := 0; i < 4096; i++ {
+		w.Push(uint64(rng.Intn(1<<20)), i)
+	}
+	for i := 0; i < 2048; i++ {
+		w.Pop()
+	}
+}
+
+// TestSteadyStateAllocFree asserts the zero-alloc steady state for the
+// Multi-Queue family: after warm-up, pop→push pairs must not touch the
+// allocator at all — the cache-efficiency story of the paper (§4)
+// assumes the hot path is heap-operation bound, and any per-op
+// allocation would also defeat the padded layout by churning lines.
+func TestSteadyStateAllocFree(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"classic":     Classic(1, 4),
+		"reld":        RELD(1),
+		"batch_batch": {Workers: 1, C: 4, Insert: InsertBatch, Delete: DeleteBatch},
+		"temporal":    {Workers: 1, C: 4, PInsertChange: 1.0 / 16, PDeleteChange: 1.0 / 16},
+		"peek":        {Workers: 1, C: 4, PeekTops: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := New[int](cfg)
+			w := s.Worker(0)
+			rng := xrand.New(42)
+			warmWalk(w, rng)
+			allocs := testing.AllocsPerRun(2000, func() {
+				p, v, ok := w.Pop()
+				if !ok {
+					w.Push(uint64(rng.Intn(1<<20)), 0)
+					return
+				}
+				w.Push(p+uint64(rng.Intn(64)), v)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state pop+push allocates %.3f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package mq
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestLockQueuePadding pins the hand-computed pad in lockQueue: queues
+// live in a contiguous slice, so the false-sharing-free layout depends
+// on the element size being exactly a cache-line multiple.
+func TestLockQueuePadding(t *testing.T) {
+	if sz := unsafe.Sizeof(lockQueue[int]{}); sz%64 != 0 {
+		t.Fatalf("lockQueue size %d is not a multiple of 64; fix the pad array", sz)
+	}
+}
+
+// TestWorkerPadding checks that adjacent workers in the contiguous
+// workers slice cannot share a cache line through their hot mutable
+// fields (lastIns/lastDel/delIdx).
+func TestWorkerPadding(t *testing.T) {
+	ws := make([]mqWorker[int], 2)
+	a := uintptr(unsafe.Pointer(&ws[0].lastIns))
+	b := uintptr(unsafe.Pointer(&ws[1].lastIns))
+	if b-a < 64 {
+		t.Fatalf("adjacent workers' hot fields only %d bytes apart, want >= 64", b-a)
+	}
+}

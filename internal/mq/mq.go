@@ -19,9 +19,9 @@ package mq
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/contend"
 	"repro/internal/numa"
 	"repro/internal/pq"
 	"repro/internal/sched"
@@ -140,35 +140,56 @@ func RELD(workers int) Config {
 // lockQueue is one of the m sequential heaps behind a try-lock. The
 // cached top is maintained under the lock and read lock-free by the
 // PeekTops delete path.
+//
+// The queues live in one contiguous slice (pointer-free indexing on the
+// two-choice hot path), so the header is hand-padded to exactly one
+// cache line: mu (4B) + peek (1B) + 3B alignment + heap pointer (8B) +
+// top (8B) = 24B, plus 40B of pad. Adjacent queues' lock words and
+// cached tops — the two words every worker hammers — therefore never
+// share a line. TestLockQueuePadding pins the arithmetic.
 type lockQueue[T any] struct {
-	mu   sync.Mutex
+	mu   contend.Lock
+	peek bool // maintain the cached top? (Config.PeekTops)
 	heap *pq.DHeap[T]
 	top  atomic.Uint64 // cached heap top (InfPriority when empty)
-	_    [24]byte      // separate neighbouring queues' hot words
+	_    [contend.CacheLineSize - 24]byte
 }
 
 // The following helpers must be called with q.mu held; they keep the
-// cached top coherent with the heap.
+// cached top coherent with the heap. Only the PeekTops delete path ever
+// reads the cached top, so non-peek configurations skip the maintenance
+// entirely — an atomic store is a full fence (XCHG on amd64) and paying
+// one per heap operation for an unused cache is measurable.
 
 func (q *lockQueue[T]) push(p uint64, v T) {
 	q.heap.Push(p, v)
-	q.top.Store(q.heap.Top())
+	if q.peek {
+		q.top.Store(q.heap.Top())
+	}
 }
 
-func (q *lockQueue[T]) pushItem(it pq.Item[T]) {
-	q.heap.PushItem(it)
-	q.top.Store(q.heap.Top())
+func (q *lockQueue[T]) pushAll(items []pq.Item[T]) {
+	for _, it := range items {
+		q.heap.PushItem(it)
+	}
+	if q.peek {
+		q.top.Store(q.heap.Top())
+	}
 }
 
 func (q *lockQueue[T]) pop() (uint64, T, bool) {
 	p, v, ok := q.heap.Pop()
-	q.top.Store(q.heap.Top())
+	if q.peek {
+		q.top.Store(q.heap.Top())
+	}
 	return p, v, ok
 }
 
 func (q *lockQueue[T]) popBatch(k int, dst []pq.Item[T]) []pq.Item[T] {
 	dst = q.heap.PopBatch(k, dst)
-	q.top.Store(q.heap.Top())
+	if q.peek {
+		q.top.Store(q.heap.Top())
+	}
 	return dst
 }
 
@@ -176,7 +197,7 @@ func (q *lockQueue[T]) popBatch(k int, dst []pq.Item[T]) []pq.Item[T] {
 type MQ[T any] struct {
 	cfg      Config
 	topo     numa.Topology
-	queues   []*lockQueue[T]
+	queues   []lockQueue[T] // contiguous, each element one padded cache line
 	workers  []mqWorker[T]
 	counters []sched.Counters
 }
@@ -187,12 +208,13 @@ func New[T any](cfg Config) *MQ[T] {
 	s := &MQ[T]{
 		cfg:      cfg,
 		topo:     numa.New(cfg.Workers, max(cfg.NUMANodes, 1), cfg.C),
-		queues:   make([]*lockQueue[T], cfg.Workers*cfg.C),
+		queues:   make([]lockQueue[T], cfg.Workers*cfg.C),
 		workers:  make([]mqWorker[T], cfg.Workers),
 		counters: make([]sched.Counters, cfg.Workers),
 	}
 	for i := range s.queues {
-		s.queues[i] = &lockQueue[T]{heap: pq.NewDHeapCap[T](cfg.HeapArity, 64)}
+		s.queues[i].heap = pq.NewDHeapCap[T](cfg.HeapArity, 64)
+		s.queues[i].peek = cfg.PeekTops
 		s.queues[i].top.Store(pq.InfPriority)
 	}
 	k := 1.0
@@ -200,16 +222,14 @@ func New[T any](cfg Config) *MQ[T] {
 		k = cfg.NUMAWeightK
 	}
 	for i := range s.workers {
-		rng := xrand.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
-		s.workers[i] = mqWorker[T]{
-			s:       s,
-			id:      i,
-			rng:     rng,
-			smp:     numa.NewSampler(s.topo, i, k, rng),
-			c:       &s.counters[i],
-			lastIns: -1,
-			lastDel: -1,
-		}
+		w := &s.workers[i]
+		w.s = s
+		w.id = i
+		w.rng.Seed(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+		w.smp = *numa.NewSampler(s.topo, i, k, &w.rng)
+		w.c = &s.counters[i]
+		w.lastIns = -1
+		w.lastDel = -1
 	}
 	return s
 }
@@ -233,12 +253,15 @@ func (s *MQ[T]) Stats() sched.Stats {
 	return sched.SumCounters(s.counters)
 }
 
-// mqWorker is the per-goroutine handle with all thread-local state.
+// mqWorker is the per-goroutine handle with all thread-local state. The
+// RNG and NUMA sampler are embedded by value: both mutate on every
+// operation, and as separate heap allocations two workers' generators
+// could share a cache line; inside the padded worker struct they cannot.
 type mqWorker[T any] struct {
 	s   *MQ[T]
 	id  int
-	rng *xrand.Rand
-	smp *numa.Sampler
+	rng xrand.Rand
+	smp numa.Sampler
 	c   *sched.Counters
 
 	lastIns int // temporal-locality insert queue
@@ -249,6 +272,11 @@ type mqWorker[T any] struct {
 	delIdx int
 
 	sweepSkip []int // queues the sweep's try-lock pass skipped (reused)
+
+	// Workers sit in one contiguous slice and mutate lastIns/lastDel/
+	// delIdx on every operation; a trailing cache line keeps those hot
+	// words off the neighbouring worker's line.
+	_ [contend.CacheLineSize]byte
 }
 
 // Push inserts a task according to the configured insert policy.
@@ -265,7 +293,7 @@ func (w *mqWorker[T]) Push(p uint64, v T) {
 			w.lastIns = w.smp.Sample()
 		}
 		for {
-			q := w.s.queues[w.lastIns]
+			q := &w.s.queues[w.lastIns]
 			if q.mu.TryLock() {
 				q.push(p, v)
 				q.mu.Unlock()
@@ -285,14 +313,12 @@ func (w *mqWorker[T]) flushInsertBuffer() {
 	}
 	for {
 		qi := w.smp.Sample()
-		q := w.s.queues[qi]
+		q := &w.s.queues[qi]
 		if !q.mu.TryLock() {
 			w.c.LockFails++
 			continue
 		}
-		for _, it := range w.insBuf {
-			q.pushItem(it)
-		}
+		q.pushAll(w.insBuf)
 		q.mu.Unlock()
 		clear(w.insBuf)
 		w.insBuf = w.insBuf[:0]
@@ -333,7 +359,7 @@ func (w *mqWorker[T]) popPolicy() (uint64, T, bool) {
 // two-choice pick.
 func (w *mqWorker[T]) popTemporalLocality() (uint64, T, bool) {
 	if w.lastDel >= 0 && !w.rng.Bernoulli(w.s.cfg.PDeleteChange) {
-		q := w.s.queues[w.lastDel]
+		q := &w.s.queues[w.lastDel]
 		if q.mu.TryLock() {
 			p, v, ok := q.pop()
 			q.mu.Unlock()
@@ -365,7 +391,7 @@ func (w *mqWorker[T]) popBatch() (uint64, T, bool) {
 func (w *mqWorker[T]) popLocal() (uint64, T, bool) {
 	base := w.id * w.s.cfg.C
 	for off := 0; off < w.s.cfg.C; off++ {
-		q := w.s.queues[base+off]
+		q := &w.s.queues[base+off]
 		q.mu.Lock()
 		p, v, ok := q.pop()
 		q.mu.Unlock()
@@ -391,7 +417,7 @@ func (w *mqWorker[T]) popRandom2(batch int) (uint64, T, bool) {
 		if m > 1 {
 			i2 = w.smp.SampleOther(i1)
 		}
-		q1, q2 := w.s.queues[i1], w.s.queues[i2]
+		q1, q2 := &w.s.queues[i1], &w.s.queues[i2]
 		if !q1.mu.TryLock() {
 			w.c.LockFails++
 			continue
@@ -455,7 +481,7 @@ func (w *mqWorker[T]) popRandom2Peek(batch int) (uint64, T, bool) {
 		if w.s.queues[i2].top.Load() < w.s.queues[i1].top.Load() {
 			qi = i2
 		}
-		q := w.s.queues[qi]
+		q := &w.s.queues[qi]
 		if !q.mu.TryLock() {
 			w.c.LockFails++
 			continue
@@ -503,7 +529,7 @@ func (w *mqWorker[T]) sweep() (uint64, T, bool) {
 		if qi >= m {
 			qi -= m
 		}
-		q := w.s.queues[qi]
+		q := &w.s.queues[qi]
 		if !q.mu.TryLock() {
 			w.c.LockFails++
 			w.sweepSkip = append(w.sweepSkip, qi)
@@ -517,7 +543,7 @@ func (w *mqWorker[T]) sweep() (uint64, T, bool) {
 		}
 	}
 	for _, qi := range w.sweepSkip {
-		q := w.s.queues[qi]
+		q := &w.s.queues[qi]
 		q.mu.Lock()
 		p, v, ok := q.pop()
 		q.mu.Unlock()

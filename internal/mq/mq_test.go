@@ -36,7 +36,7 @@ func configs(workers int) map[string]Config {
 func TestPeekTopsTracksHeap(t *testing.T) {
 	s := New[int](Config{Workers: 1, C: 1, PeekTops: true})
 	w := s.Worker(0)
-	q := s.queues[0]
+	q := &s.queues[0]
 	if q.top.Load() != pqInf {
 		t.Fatalf("empty cached top = %d", q.top.Load())
 	}

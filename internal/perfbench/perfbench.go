@@ -1,0 +1,302 @@
+// Package perfbench produces the repository's recorded performance
+// trajectory: a schema-versioned JSON report of scheduler throughput,
+// contention and allocation behaviour on a fixed contended
+// uniform-priority microbenchmark, emitted by `smqbench -json` and
+// committed as BENCH_PR<n>.json so that every optimisation PR extends a
+// measured history instead of a claimed one.
+//
+// The workload is the throughput benchmark of the Multi-Queue
+// literature (Rihani et al. 2014; Williams et al. 2021; §5 of the SMQ
+// paper): prefill the queue, then every worker runs pop→push pairs with
+// uniformly random priorities, keeping the queue size stationary while
+// all workers contend on the shared structure. Reported per scheduler:
+// throughput, lock failures (contention), allocations per operation
+// (steady-state allocation discipline) and total GC pause accumulated
+// during the run.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/coarse"
+	"repro/internal/core"
+	"repro/internal/emq"
+	"repro/internal/klsm"
+	"repro/internal/mq"
+	"repro/internal/obim"
+	"repro/internal/sched"
+	"repro/internal/spray"
+	"repro/internal/xrand"
+)
+
+// SchemaVersion identifies the report layout. Bump it when fields
+// change meaning or disappear; additions are backward compatible.
+const SchemaVersion = 1
+
+// Report is the top-level JSON document.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedBy   string `json:"generated_by"`
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Workers       int    `json:"workers"`
+	Prefill       int    `json:"prefill"`
+	OpsPerWorker  int    `json:"ops_per_worker"`
+	Seed          uint64 `json:"seed"`
+	Reps          int    `json:"reps,omitempty"`
+
+	Results []Result `json:"results"`
+}
+
+// Result is one scheduler's measurement.
+type Result struct {
+	Scheduler string `json:"scheduler"`
+	// ThroughputOpsPerSec counts completed pop→push pairs per second
+	// summed over all workers.
+	ThroughputOpsPerSec float64 `json:"throughput_ops_per_sec"`
+	NsPerOp             float64 `json:"ns_per_op"`
+	// LockFails and EmptyPops come from the scheduler's own counters.
+	LockFails uint64 `json:"lock_fails"`
+	EmptyPops uint64 `json:"empty_pops"`
+	// AllocsPerOp / BytesPerOp are heap-allocation deltas over the
+	// timed section divided by total operations (steady state should
+	// be ~0 for the buffered schedulers).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// GCPauseTotalNs is the stop-the-world pause time accumulated
+	// during the timed section.
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+}
+
+// Config parameterizes a perfbench run.
+type Config struct {
+	// Workers is the number of worker goroutines (and scheduler worker
+	// slots). 0 means GOMAXPROCS.
+	Workers int
+	// Prefill is the number of tasks inserted before the timed section.
+	// 0 means 4096.
+	Prefill int
+	// OpsPerWorker is the number of pop→push pairs each worker runs.
+	// 0 means 200000.
+	OpsPerWorker int
+	// Seed makes the priority streams reproducible. 0 means 1.
+	Seed uint64
+	// Reps is the number of repetitions per scheduler; the fastest is
+	// reported (the harness convention — the minimum is the least noisy
+	// estimator of the achievable rate). 0 means 1.
+	Reps int
+	// Schedulers restricts the lineup to the named subset; nil runs
+	// everything in Lineup order.
+	Schedulers []string
+}
+
+func (c *Config) normalize() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Prefill <= 0 {
+		c.Prefill = 4096
+	}
+	if c.OpsPerWorker <= 0 {
+		c.OpsPerWorker = 200000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+}
+
+// Lineup returns the scheduler names measured by default, in report
+// order: the exact baseline, the Multi-Queue family, the SMQ, and the
+// non-Multi-Queue relaxed baselines.
+func Lineup() []string {
+	return []string{"coarse", "mq", "mq-batch", "emq", "smq", "klsm", "obim", "spray"}
+}
+
+// build constructs the named scheduler for w workers. The
+// configurations are the respective papers' defaults (the same ones the
+// harness experiments use).
+func build(name string, workers int, seed uint64) (sched.Scheduler[int], error) {
+	switch name {
+	case "coarse":
+		return coarse.New[int](coarse.Config{Workers: workers}), nil
+	case "mq":
+		return mq.New[int](mq.Classic(workers, 4)), nil
+	case "mq-batch":
+		return mq.New[int](mq.Config{Workers: workers, C: 4,
+			Insert: mq.InsertBatch, Delete: mq.DeleteBatch, Seed: seed}), nil
+	case "emq":
+		return emq.New[int](emq.Config{Workers: workers, Seed: seed}), nil
+	case "smq":
+		return core.NewStealingMQ[int](core.Config{Workers: workers, Seed: seed}), nil
+	case "klsm":
+		return klsm.New[int](klsm.Config{Workers: workers}), nil
+	case "obim":
+		return obim.New[int](obim.Config{Workers: workers}), nil
+	case "spray":
+		return spray.New[int](spray.Config{Workers: workers, Seed: seed}), nil
+	}
+	return nil, fmt.Errorf("perfbench: unknown scheduler %q (known: %v)", name, Lineup())
+}
+
+// prioBits bounds the uniform priority domain; ~1M distinct priorities
+// keeps heaps deep enough to be interesting without overflow concerns.
+const prioBits = 20
+
+// Run executes the microbenchmark for every configured scheduler and
+// assembles the report.
+func Run(cfg Config) (*Report, error) {
+	cfg.normalize()
+	names := cfg.Schedulers
+	if len(names) == 0 {
+		names = Lineup()
+	}
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		GeneratedBy:   "smqbench -json",
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       cfg.Workers,
+		Prefill:       cfg.Prefill,
+		OpsPerWorker:  cfg.OpsPerWorker,
+		Seed:          cfg.Seed,
+		Reps:          cfg.Reps,
+	}
+	for _, name := range names {
+		best, err := runOne(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for rep := 1; rep < cfg.Reps; rep++ {
+			res, err := runOne(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if res.ThroughputOpsPerSec > best.ThroughputOpsPerSec {
+				best = res
+			}
+		}
+		r.Results = append(r.Results, best)
+	}
+	return r, nil
+}
+
+func runOne(name string, cfg Config) (Result, error) {
+	s, err := build(name, cfg.Workers, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	// Prefill sequentially through the worker handles (handles are not
+	// concurrency-safe, but sequential multiplexed use is fine).
+	seedRng := xrand.New(cfg.Seed ^ 0xa5a5a5a5)
+	for i := 0; i < cfg.Prefill; i++ {
+		s.Worker(i%cfg.Workers).Push(seedRng.Uint64()>>(64-prioBits), i)
+	}
+
+	// Warm the allocator and GC state so the measured deltas reflect
+	// the scheduler, not runtime lazy initialisation.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Worker(w)
+			rng := xrand.New(cfg.Seed + uint64(w)*0x9e3779b97f4a7c15)
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				_, v, ok := h.Pop()
+				if !ok {
+					// Locally dry (relaxed schedulers may hide tasks in
+					// other workers' buffers): reseed to keep the queue
+					// size stationary; this is the push half of the pair.
+					h.Push(rng.Uint64()>>(64-prioBits), i)
+					continue
+				}
+				h.Push(rng.Uint64()>>(64-prioBits), v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	totalOps := float64(cfg.Workers) * float64(cfg.OpsPerWorker)
+	st := s.Stats()
+	return Result{
+		Scheduler:           name,
+		ThroughputOpsPerSec: totalOps / elapsed.Seconds(),
+		NsPerOp:             float64(elapsed.Nanoseconds()) / totalOps,
+		LockFails:           st.LockFails,
+		EmptyPops:           st.EmptyPops,
+		AllocsPerOp:         float64(after.Mallocs-before.Mallocs) / totalOps,
+		BytesPerOp:          float64(after.TotalAlloc-before.TotalAlloc) / totalOps,
+		GCPauseTotalNs:      after.PauseTotalNs - before.PauseTotalNs,
+	}, nil
+}
+
+// Validate checks a report against the schema contract. CI runs it over
+// the freshly generated artifact, and the unit tests run it over the
+// committed BENCH_*.json files, so a drifting writer fails the build.
+func Validate(r *Report) error {
+	if r == nil {
+		return fmt.Errorf("perfbench: nil report")
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("perfbench: schema_version = %d, want %d", r.SchemaVersion, SchemaVersion)
+	}
+	if r.GoVersion == "" || r.GeneratedBy == "" {
+		return fmt.Errorf("perfbench: missing go_version / generated_by")
+	}
+	if r.Workers <= 0 || r.Prefill <= 0 || r.OpsPerWorker <= 0 {
+		return fmt.Errorf("perfbench: non-positive run parameters: %+v", r)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("perfbench: no results")
+	}
+	seen := make(map[string]bool, len(r.Results))
+	for _, res := range r.Results {
+		if res.Scheduler == "" {
+			return fmt.Errorf("perfbench: result with empty scheduler name")
+		}
+		if seen[res.Scheduler] {
+			return fmt.Errorf("perfbench: duplicate scheduler %q", res.Scheduler)
+		}
+		seen[res.Scheduler] = true
+		if res.ThroughputOpsPerSec <= 0 || res.NsPerOp <= 0 {
+			return fmt.Errorf("perfbench: %s: non-positive throughput", res.Scheduler)
+		}
+		if res.AllocsPerOp < 0 || res.BytesPerOp < 0 {
+			return fmt.Errorf("perfbench: %s: negative allocation rate", res.Scheduler)
+		}
+	}
+	return nil
+}
+
+// Marshal renders the report as indented JSON with a trailing newline,
+// the exact bytes committed as BENCH_*.json.
+func Marshal(r *Report) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Parse is the inverse of Marshal, used by the schema tests.
+func Parse(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfbench: %w", err)
+	}
+	return &r, nil
+}

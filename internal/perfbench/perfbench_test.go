@@ -1,0 +1,125 @@
+package perfbench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps test runs to a few milliseconds per scheduler.
+func tinyConfig() Config {
+	return Config{Workers: 2, Prefill: 256, OpsPerWorker: 2000, Seed: 7}
+}
+
+func TestRunProducesValidReport(t *testing.T) {
+	r, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(r); err != nil {
+		t.Fatalf("freshly generated report fails validation: %v", err)
+	}
+	if len(r.Results) != len(Lineup()) {
+		t.Fatalf("got %d results, want the full lineup of %d", len(r.Results), len(Lineup()))
+	}
+}
+
+func TestRunSubsetAndUnknown(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Schedulers = []string{"mq", "emq"}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 2 || r.Results[0].Scheduler != "mq" || r.Results[1].Scheduler != "emq" {
+		t.Fatalf("subset run = %+v", r.Results)
+	}
+	cfg.Schedulers = []string{"nonesuch"}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "nonesuch") {
+		t.Fatalf("unknown scheduler error = %v", err)
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Schedulers = []string{"mq"}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(back); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+	if back.Results[0].Scheduler != "mq" || back.SchemaVersion != SchemaVersion {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestValidateRejectsBadReports(t *testing.T) {
+	good := &Report{
+		SchemaVersion: SchemaVersion, GeneratedBy: "test", GoVersion: "go",
+		Workers: 1, Prefill: 1, OpsPerWorker: 1,
+		Results: []Result{{Scheduler: "mq", ThroughputOpsPerSec: 1, NsPerOp: 1}},
+	}
+	if err := Validate(good); err != nil {
+		t.Fatalf("baseline good report rejected: %v", err)
+	}
+	cases := map[string]func(r *Report){
+		"nil results":      func(r *Report) { r.Results = nil },
+		"bad version":      func(r *Report) { r.SchemaVersion = SchemaVersion + 1 },
+		"no go version":    func(r *Report) { r.GoVersion = "" },
+		"zero workers":     func(r *Report) { r.Workers = 0 },
+		"empty name":       func(r *Report) { r.Results[0].Scheduler = "" },
+		"zero throughput":  func(r *Report) { r.Results[0].ThroughputOpsPerSec = 0 },
+		"negative allocs":  func(r *Report) { r.Results[0].AllocsPerOp = -1 },
+		"duplicate result": func(r *Report) { r.Results = append(r.Results, r.Results[0]) },
+	}
+	for name, mutate := range cases {
+		r := *good
+		r.Results = append([]Result(nil), good.Results...)
+		mutate(&r)
+		if err := Validate(&r); err == nil {
+			t.Errorf("%s: Validate accepted a bad report", name)
+		}
+	}
+	if err := Validate(nil); err == nil {
+		t.Error("Validate accepted nil")
+	}
+}
+
+// TestCommittedTrajectoryFilesValidate parses every BENCH_*.json at the
+// repository root: the recorded perf trajectory must always satisfy the
+// current schema, so a schema change forces regenerating the history
+// consciously rather than silently orphaning it.
+func TestCommittedTrajectoryFilesValidate(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Skip("no committed BENCH_*.json files yet")
+	}
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Parse(data)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if err := Validate(r); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}

@@ -73,7 +73,11 @@ func (s *SeqSkipList[T]) Push(p uint64, v T) {
 	s.n++
 }
 
-// Pop removes and returns the minimum-priority task.
+// Pop removes and returns the minimum-priority task. The unlinked
+// node's item and forward pointers are zeroed: a caller observing the
+// returned value through an interface, or any stray reference to the
+// node (iterator, debugger, heap dump), must not keep the payload — or
+// a chain of successor nodes — reachable.
 func (s *SeqSkipList[T]) Pop() (p uint64, v T, ok bool) {
 	first := s.head.next[0]
 	if first == nil {
@@ -88,7 +92,10 @@ func (s *SeqSkipList[T]) Pop() (p uint64, v T, ok bool) {
 		s.levels--
 	}
 	s.n--
-	return first.item.P, first.item.V, true
+	p, v = first.item.P, first.item.V
+	var zero seqSkipNode[T]
+	*first = zero
+	return p, v, true
 }
 
 // PopBatch removes up to k minimum-priority tasks in priority order,

@@ -25,6 +25,8 @@ package sched
 import (
 	"runtime"
 	"sync/atomic"
+
+	"repro/internal/contend"
 )
 
 // Worker is a per-goroutine handle into a scheduler.
@@ -77,12 +79,14 @@ func (s *Stats) Add(other Stats) {
 
 // Counters is the per-worker, unsynchronized statistics block. Workers
 // update their own Counters without atomics (each is owned by a single
-// goroutine); Stats() reads them after quiescence. The struct is padded
-// to a multiple of the cache line size so adjacent workers' counters do
-// not false-share.
+// goroutine); Stats() reads them after quiescence. A full trailing cache
+// line of padding separates adjacent workers' counters in the schedulers'
+// contiguous counter slices: every Push/Pop increments one of these
+// fields, and without the pad those increments would false-share —
+// exactly the layout cost the contend package exists to eliminate.
 type Counters struct {
 	Stats
-	_ [64 - (8*8)%64]byte // pad Stats (8 uint64 fields) to a 64B multiple
+	_ [contend.CacheLineSize]byte
 }
 
 // SumCounters aggregates a slice of per-worker counters.

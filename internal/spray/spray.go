@@ -13,6 +13,7 @@ package spray
 import (
 	"fmt"
 
+	"repro/internal/contend"
 	"repro/internal/cskiplist"
 	"repro/internal/pq"
 	"repro/internal/sched"
@@ -34,13 +35,17 @@ type Config struct {
 type Sched[T any] struct {
 	cfg      Config
 	list     *cskiplist.SkipList[T]
-	workers  []worker[T]
+	workers  []contend.Padded[worker[T]]
 	counters []sched.Counters
 }
 
+// worker embeds its RNG by value: the spray walk draws from it on every
+// descent step, and separately heap-allocated generators of adjacent
+// workers could share a cache line. The workers slice wraps each handle
+// in contend.Padded so neighbours cannot share one either.
 type worker[T any] struct {
 	s   *Sched[T]
-	rng *xrand.Rand
+	rng xrand.Rand
 	c   *sched.Counters
 }
 
@@ -59,15 +64,14 @@ func New[T any](cfg Config) *Sched[T] {
 	s := &Sched[T]{
 		cfg:      cfg,
 		list:     cskiplist.New[T](cfg.Seed),
-		workers:  make([]worker[T], cfg.Workers),
+		workers:  make([]contend.Padded[worker[T]], cfg.Workers),
 		counters: make([]sched.Counters, cfg.Workers),
 	}
 	for i := range s.workers {
-		s.workers[i] = worker[T]{
-			s:   s,
-			rng: xrand.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15),
-			c:   &s.counters[i],
-		}
+		w := &s.workers[i].Value
+		w.s = s
+		w.rng.Seed(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+		w.c = &s.counters[i]
 	}
 	return s
 }
@@ -80,7 +84,7 @@ func (s *Sched[T]) Worker(w int) sched.Worker[T] {
 	if w < 0 || w >= len(s.workers) {
 		panic(fmt.Sprintf("spray: worker index %d out of range [0,%d)", w, len(s.workers)))
 	}
-	return &s.workers[w]
+	return &s.workers[w].Value
 }
 
 // Stats aggregates counters; call only after workers quiesce.
@@ -97,7 +101,7 @@ func (w *worker[T]) Push(p uint64, v T) {
 
 // Pop sprays a near-minimal element from the shared skip list.
 func (w *worker[T]) Pop() (uint64, T, bool) {
-	p, v, ok := w.s.list.Spray(w.s.cfg.Params, w.rng)
+	p, v, ok := w.s.list.Spray(w.s.cfg.Params, &w.rng)
 	if ok {
 		w.c.Pops++
 	} else {

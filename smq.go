@@ -25,6 +25,39 @@
 // (2014), where tasks expand an implicit metric graph by distance
 // priority instead of walking a prebuilt adjacency structure.
 //
+// # Memory layout & contention
+//
+// The paper attributes the Multi-Queue family's throughput as much to
+// memory discipline as to algorithm (§4): cheap uncontended locking,
+// cache-line-conscious layout, and allocation-free steady state. This
+// implementation keeps all three, via the internal contend package:
+//
+//   - Queue headers and the coarse/k-LSM global locks use a padded TATAS
+//     try-spinlock (two atomic word operations per uncontended
+//     acquire/release, bounded exponential backoff then Gosched when
+//     blocking) rather than sync.Mutex — the try-lock discipline means a
+//     contended queue is resampled, never waited for, so futex parking
+//     is pure overhead on these paths.
+//   - Every contiguous hot array is padded to cache-line multiples:
+//     lock-queue headers (lock word + cached top per line), per-worker
+//     handles (sticky indices, buffer cursors), per-worker statistics
+//     counters, and the SMQ steal-buffer epoch word, which lives on its
+//     own line so thieves' CAS traffic never invalidates the owner's
+//     heap pointer. Worker RNGs and NUMA samplers are embedded by value
+//     in the padded handles instead of being separate heap allocations
+//     that could share lines between workers.
+//   - The steady state allocates nothing: heaps and operation buffers
+//     are reused in place and zero vacated slots (so popped pointerful
+//     payloads are released to the GC), and the k-LSM merge path
+//     recycles retired blocks through per-LSM slab pools. Regression
+//     tests assert 0 allocs/op for the SMQ, Multi-Queue and engineered
+//     MultiQueue hot paths.
+//
+// The measured effect of each such change is recorded in the repo's
+// perf trajectory: `smqbench -json` benchmarks the whole lineup on a
+// contended uniform-priority microbenchmark and emits a
+// schema-versioned report (committed as BENCH_PR<n>.json).
+//
 // # Priorities
 //
 // All schedulers order tasks by a uint64 priority where LOWER means

@@ -1,0 +1,46 @@
+// Command benchcheck parses and schema-validates perf-trajectory JSON
+// files (the BENCH_PR<n>.json artifacts written by `smqbench -json`).
+//
+// Usage:
+//
+//	benchcheck BENCH_PR5.json [more.json ...]
+//
+// `smqbench -json` already validates the report it is about to write;
+// benchcheck closes the remaining gap by re-reading the bytes actually
+// on disk, so CI fails if the serialized artifact stops parsing or
+// drifts from the schema (including the committed trajectory history).
+// Exit status is non-zero on the first invalid file.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/perfbench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck <trajectory.json> [...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail(path, err)
+		}
+		r, err := perfbench.Parse(data)
+		if err != nil {
+			fail(path, err)
+		}
+		if err := perfbench.Validate(r); err != nil {
+			fail(path, err)
+		}
+		fmt.Printf("%s: ok (schema %d, %d schedulers)\n", path, r.SchemaVersion, len(r.Results))
+	}
+}
+
+func fail(path string, err error) {
+	fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+	os.Exit(1)
+}

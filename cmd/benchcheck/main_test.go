@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchcheckEndToEnd builds the tool and runs it over a valid and
+// an invalid artifact, pinning both exit paths.
+func TestBenchcheckEndToEnd(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "benchcheck")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	good := filepath.Join(dir, "good.json")
+	goodJSON := `{
+  "schema_version": 1,
+  "generated_by": "test",
+  "go_version": "go",
+  "gomaxprocs": 1,
+  "workers": 1,
+  "prefill": 1,
+  "ops_per_worker": 1,
+  "results": [{"scheduler": "mq", "throughput_ops_per_sec": 1, "ns_per_op": 1}]
+}`
+	if err := os.WriteFile(good, []byte(goodJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, good).CombinedOutput(); err != nil {
+		t.Fatalf("valid file rejected: %v\n%s", err, out)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema_version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(bin, bad).Run(); err == nil {
+		t.Fatal("invalid file accepted")
+	}
+}

@@ -15,10 +15,13 @@
 //
 // The -json mode runs the contended uniform-priority microbenchmark of
 // internal/perfbench over the whole scheduler lineup and writes a
-// schema-versioned JSON report (throughput, lock failures, allocs/op,
-// GC pause totals per scheduler) to the given path ("-" for stdout).
-// Committed as BENCH_PR<n>.json, these reports form the repo's recorded
-// perf trajectory; internal/perfbench.Validate gates their schema in CI.
+// schema-versioned JSON report to the given path ("-" for stdout):
+// scalar throughput, batched (PushN/PopN) throughput at -benchbatch
+// tasks per operation, pop-latency percentiles (p50/p99/p99.9 from a
+// log-bucketed histogram), lock failures, allocs/op and GC pause
+// totals per scheduler. Committed as BENCH_PR<n>.json, these reports
+// form the repo's recorded perf trajectory; internal/perfbench.Validate
+// gates their schema in CI.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the run
 // (any mode), so hot-path claims in optimisation PRs can be verified
@@ -72,6 +75,8 @@ func main() {
 		benchPre  = flag.Int("benchprefill", 0, "-json: prefilled tasks (default 4096)")
 		benchSch  = flag.String("benchschedulers", "", "-json: comma-separated scheduler subset (default: full lineup)")
 		benchReps = flag.Int("benchreps", 1, "-json: repetitions per scheduler (fastest kept)")
+		benchBat  = flag.Int("benchbatch", 0, "-json: PushN/PopN batch size for the batched mode (default 8)")
+		benchLat  = flag.Int("benchlatops", 0, "-json: individually timed pops per worker for the latency percentiles (default min(benchops, 50000))")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		benchSeed = flag.Uint64("benchseed", 1, "-json: RNG seed")
@@ -119,6 +124,8 @@ func main() {
 			Seed:         *benchSeed,
 			Reps:         *benchReps,
 			Schedulers:   schedulers,
+			BatchSize:    *benchBat,
+			LatencyOps:   *benchLat,
 		}); err != nil {
 			fatal(err)
 		}

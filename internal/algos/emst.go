@@ -143,7 +143,7 @@ func EuclideanMST(ps *geom.PointSet, k int, s sched.Scheduler[uint32]) (uint64, 
 	// a merge or observes another worker's committed merge — global
 	// progress without a single scheduler retry.
 	tasks, wasted, elapsed := drive(s, &pending,
-		func(_ int, w sched.Worker[uint32], _ uint64, r uint32) bool {
+		func(_ int, out *taskSink[uint32], _ uint64, r uint32) bool {
 			if find(r) != r {
 				return true // component was absorbed; task is stale
 			}
@@ -212,8 +212,7 @@ func EuclideanMST(ps *geom.PointSet, k int, s sched.Scheduler[uint32]) (uint64, 
 				locks[t].Unlock()
 				mergedSize := uint64(members[r].size)
 				locks[r].Unlock()
-				pending.Inc(1)
-				w.Push(mergedSize, r)
+				out.Push(mergedSize, r)
 				return false
 			}
 		})

@@ -51,11 +51,20 @@ func (s *flakySched) Stats() sched.Stats { return s.inner.Stats() }
 
 func (w *flakyWorker) Push(p uint64, v uint32) { w.inner.Push(p, v) }
 
+func (w *flakyWorker) PushN(ps []uint64, vs []uint32) { w.inner.PushN(ps, vs) }
+
 func (w *flakyWorker) Pop() (uint64, uint32, bool) {
 	if w.rng.Bernoulli(w.s.failProb) {
 		return pq.InfPriority, 0, false // spurious failure
 	}
 	return w.inner.Pop()
+}
+
+func (w *flakyWorker) PopN(dst []sched.Task[uint32]) int {
+	if w.rng.Bernoulli(w.s.failProb) {
+		return 0 // spurious batch-wide failure
+	}
+	return w.inner.PopN(dst)
 }
 
 // yieldSched forces a goroutine yield around every operation, shaking
@@ -89,9 +98,19 @@ func (w *yieldWorker) Push(p uint64, v uint32) {
 	w.inner.Push(p, v)
 }
 
+func (w *yieldWorker) PushN(ps []uint64, vs []uint32) {
+	runtime.Gosched()
+	w.inner.PushN(ps, vs)
+}
+
 func (w *yieldWorker) Pop() (uint64, uint32, bool) {
 	runtime.Gosched()
 	return w.inner.Pop()
+}
+
+func (w *yieldWorker) PopN(dst []sched.Task[uint32]) int {
+	runtime.Gosched()
+	return w.inner.PopN(dst)
 }
 
 // lifoSched is the adversarially relaxed scheduler: it ignores
@@ -129,6 +148,11 @@ func (w *lifoWorker) Pop() (uint64, uint32, bool) {
 	w.s.stack = w.s.stack[:n-1]
 	return it.P, it.V, true
 }
+
+// The adversarial LIFO queue exercises the generic batch fallbacks.
+func (w *lifoWorker) PushN(ps []uint64, vs []uint32) { sched.PushNLoop[uint32](w, ps, vs) }
+
+func (w *lifoWorker) PopN(dst []sched.Task[uint32]) int { return sched.PopNLoop[uint32](w, dst) }
 
 func TestSSSPWithSpuriousFailures(t *testing.T) {
 	g := graph.GenerateRoadGrid(20, 20, 3)

@@ -73,7 +73,7 @@ func knnRows(ps *geom.PointSet, k int, s sched.Scheduler[uint32]) ([][]geom.Neig
 	scratch := make([][]geom.Neighbor, s.Workers())
 
 	tasks, wasted, elapsed := drive(s, &pending,
-		func(wid int, w sched.Worker[uint32], _ uint64, v uint32) bool {
+		func(wid int, out *taskSink[uint32], _ uint64, v uint32) bool {
 			r := radius[v]
 			cand := tree.AppendWithin(ps.At(int(v)), r*r, int32(v), scratch[wid][:0])
 			scratch[wid] = cand
@@ -82,8 +82,7 @@ func knnRows(ps *geom.PointSet, k int, s sched.Scheduler[uint32]) ([][]geom.Neig
 				// later, after the still-cheap dense tasks.
 				r *= 2
 				radius[v] = r
-				pending.Inc(1)
-				w.Push(uint64(geom.Weight(r*r)), v)
+				out.Push(uint64(geom.Weight(r*r)), v)
 				return false
 			}
 			sort.Slice(cand, func(a, b int) bool {

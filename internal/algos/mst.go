@@ -63,7 +63,7 @@ func BoruvkaMST(g *graph.CSR, s sched.Scheduler[uint32]) (uint64, int, Result) {
 	}
 
 	tasks, wasted, elapsed := drive(s, &pending,
-		func(_ int, w sched.Worker[uint32], prio uint64, r uint32) bool {
+		func(_ int, out *taskSink[uint32], prio uint64, r uint32) bool {
 			root := find(r)
 			if root != r {
 				return true // component was absorbed; task is stale
@@ -72,8 +72,7 @@ func BoruvkaMST(g *graph.CSR, s sched.Scheduler[uint32]) (uint64, int, Result) {
 				// Busy (a concurrent merge involves us): try again later.
 				// Reuse the popped priority — comps[r] may not be read
 				// without holding the lock.
-				pending.Inc(1)
-				w.Push(prio, r)
+				out.Push(prio, r)
 				return true
 			}
 			if find(r) != r {
@@ -92,15 +91,13 @@ func BoruvkaMST(g *graph.CSR, s sched.Scheduler[uint32]) (uint64, int, Result) {
 			if t == r || !locks[t].TryLock() {
 				// t changed under us or is busy: retry this component.
 				locks[r].Unlock()
-				pending.Inc(1)
-				w.Push(count, r)
+				out.Push(count, r)
 				return true
 			}
 			if find(e.V) != t {
 				locks[t].Unlock()
 				locks[r].Unlock()
-				pending.Inc(1)
-				w.Push(count, r)
+				out.Push(count, r)
 				return true
 			}
 			// Contract: r absorbs t. Both roots are locked, so no other
@@ -113,8 +110,7 @@ func BoruvkaMST(g *graph.CSR, s sched.Scheduler[uint32]) (uint64, int, Result) {
 			locks[t].Unlock()
 			mergedCount := comps[r].count
 			locks[r].Unlock()
-			pending.Inc(1)
-			w.Push(uint64(mergedCount), r)
+			out.Push(uint64(mergedCount), r)
 			return false
 		})
 

@@ -67,7 +67,7 @@ func ResidualPageRank(g *graph.CSR, cfg PageRankConfig, s sched.Scheduler[uint32
 	}
 
 	tasks, wasted, elapsed := drive(s, &pending,
-		func(_ int, w sched.Worker[uint32], _ uint64, u uint32) bool {
+		func(_ int, out *taskSink[uint32], _ uint64, u uint32) bool {
 			queued[u].Store(false)
 			r := math.Float64frombits(resid[u].Swap(math.Float64bits(0)))
 			if r < cfg.Epsilon {
@@ -83,8 +83,7 @@ func ResidualPageRank(g *graph.CSR, cfg PageRankConfig, s sched.Scheduler[uint32
 			for _, v := range ts {
 				nr := addFloat(&resid[v], share)
 				if nr >= cfg.Epsilon && queued[v].CompareAndSwap(false, true) {
-					pending.Inc(1)
-					w.Push(residPriority(nr), v)
+					out.Push(residPriority(nr), v)
 				}
 			}
 			return false

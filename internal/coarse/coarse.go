@@ -97,3 +97,37 @@ func (w *worker[T]) Pop() (uint64, T, bool) {
 	}
 	return p, v, ok
 }
+
+// PushN inserts the whole batch under ONE global lock acquisition —
+// for the serialization strawman the batch win is maximal, since the
+// lock round trip is the entire cost of an operation. The pairs go
+// into the heap straight from the caller's parallel slices
+// (PushPairs), with no intermediate zip.
+func (w *worker[T]) PushN(ps []uint64, vs []T) {
+	sched.CheckPushN(len(ps), len(vs))
+	if len(ps) == 0 {
+		return
+	}
+	w.c.Pushes += uint64(len(ps))
+	w.s.mu.Lock()
+	w.s.heap.PushPairs(ps, vs)
+	w.s.mu.Unlock()
+}
+
+// PopN removes the len(dst) smallest tasks, in order, under one global
+// lock acquisition. Exactness is preserved per batch: the batch is a
+// prefix of the global priority order at acquisition time.
+func (w *worker[T]) PopN(dst []sched.Task[T]) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	w.s.mu.Lock()
+	n := len(w.s.heap.PopBatch(len(dst), dst[:0]))
+	w.s.mu.Unlock()
+	if n > 0 {
+		w.c.Pops += uint64(n)
+	} else {
+		w.c.EmptyPops++
+	}
+	return n
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/sched"
 	"repro/internal/xrand"
 )
 
@@ -46,4 +47,54 @@ func TestSteadyStateAllocFree(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestSteadyStateBatchAllocFree asserts the zero-alloc steady state of
+// the SMQ bulk operations: PopN into a caller-owned slice plus a PushN
+// of the same batch must never allocate once the worker's zip scratch
+// has grown (the scratch is owned by the handle and reused in place;
+// vacated slots are zeroed, per the payload-retention discipline).
+func TestSteadyStateBatchAllocFree(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"default":      {Workers: 1},
+		"insert_batch": {Workers: 1, InsertBatch: 8},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := NewStealingMQ[int](cfg)
+			w := s.Worker(0)
+			rng := xrand.New(42)
+			for i := 0; i < 4096; i++ {
+				w.Push(uint64(rng.Intn(1<<20)), i)
+			}
+			const batch = 16
+			dst := make([]sched.Task[int], batch)
+			ps := make([]uint64, 0, batch)
+			vs := make([]int, 0, batch)
+			// Warm the batch scratch buffers once.
+			runBatchPair(w, dst, &ps, &vs, rng)
+			allocs := testing.AllocsPerRun(2000, func() {
+				runBatchPair(w, dst, &ps, &vs, rng)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state batch pop+push allocates %.3f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// runBatchPair is one steady-state PopN→PushN round: re-insert every
+// popped task with a fresh priority, reseeding on an empty batch.
+func runBatchPair(w sched.Worker[int], dst []sched.Task[int], ps *[]uint64, vs *[]int, rng *xrand.Rand) {
+	k := w.PopN(dst)
+	*ps, *vs = (*ps)[:0], (*vs)[:0]
+	if k == 0 {
+		*ps = append(*ps, uint64(rng.Intn(1<<20)))
+		*vs = append(*vs, 0)
+	} else {
+		for i := 0; i < k; i++ {
+			*ps = append(*ps, uint64(rng.Intn(1<<20)))
+			*vs = append(*vs, dst[i].V)
+		}
+	}
+	w.PushN(*ps, *vs)
 }

@@ -61,6 +61,29 @@ func (q *heapQueue[T]) PushLocal(p uint64, v T) {
 	}
 }
 
+// PushLocalBatch adds a whole run to the heap and checks the steal
+// buffer once for the batch — one atomic state load (and at most one
+// refill) instead of one per task.
+//
+// The refill, when due, happens after the FIRST item exactly as in the
+// per-item loop, not after the whole batch: a post-batch refill would
+// capture the batch's top tasks into the thief buffer, where they are
+// invisible to the owner's pops until the heap next runs dry. On
+// road-graph SSSP that misordering compounds into repeated re-expansion
+// waves — 4x the relaxation work — because the hidden tasks are
+// precisely the best frontier vertices.
+func (q *heapQueue[T]) PushLocalBatch(items []pq.Item[T]) {
+	if len(items) == 0 {
+		return
+	}
+	if q.state.Load()&1 == 1 {
+		q.heap.PushItem(items[0])
+		q.fillBuffer()
+		items = items[1:]
+	}
+	q.heap.PushBatch(items)
+}
+
 // PopLocal takes the heap top; when the heap is empty it reclaims the
 // queue's own published buffer (without that, a never-stolen batch would
 // strand its tasks). The surplus of a reclaimed batch is pushed back into
@@ -82,6 +105,32 @@ func (q *heapQueue[T]) PopLocal() (uint64, T, bool) {
 		q.heap.PushItem(it)
 	}
 	return batch[0].P, batch[0].V, true
+}
+
+// PopLocalBatch drains up to k tasks from the heap into dst under a
+// single buffer-replenish check; when the heap is empty it reclaims
+// the queue's own published buffer in one epoch transition, keeping at
+// most k tasks and pushing the surplus back into the heap (the owner
+// has cheap private access, unlike a thief).
+func (q *heapQueue[T]) PopLocalBatch(k int, dst []pq.Item[T]) []pq.Item[T] {
+	if q.state.Load()&1 == 1 {
+		q.fillBuffer()
+	}
+	n0 := len(dst)
+	dst = q.heap.PopBatch(k, dst)
+	if len(dst) > n0 {
+		return dst
+	}
+	// Heap empty: take back our own buffer if it is still there.
+	dst = q.Steal(dst)
+	if extra := len(dst) - (n0 + k); extra > 0 {
+		for _, it := range dst[n0+k:] {
+			q.heap.PushItem(it)
+		}
+		clear(dst[n0+k:])
+		dst = dst[:n0+k]
+	}
+	return dst
 }
 
 // TopLocal is the owner's view: the better of the heap top and the

@@ -26,7 +26,20 @@ func newSkipQueue[T any](seed uint64, stealSize int) *skipQueue[T] {
 
 func (q *skipQueue[T]) PushLocal(p uint64, v T) { q.list.Insert(p, v) }
 
+// PushLocalBatch has no cheaper primitive than repeated inserts: the
+// list synchronizes per node regardless, so the batch win here is only
+// the caller's amortized bookkeeping.
+func (q *skipQueue[T]) PushLocalBatch(items []pq.Item[T]) {
+	for _, it := range items {
+		q.list.Insert(it.P, it.V)
+	}
+}
+
 func (q *skipQueue[T]) PopLocal() (uint64, T, bool) { return q.list.DeleteMin() }
+
+func (q *skipQueue[T]) PopLocalBatch(k int, dst []pq.Item[T]) []pq.Item[T] {
+	return q.list.DeleteMinBatch(k, dst)
+}
 
 func (q *skipQueue[T]) TopLocal() uint64 { return q.list.Top() }
 

@@ -266,8 +266,13 @@ func (w *worker[T]) resampleSlot(slot int) {
 
 // tick retires one operation from the stickiness budget; on expiry the
 // insertion buffer is published and the sticky pair resampled.
-func (w *worker[T]) tick() {
-	w.stick--
+func (w *worker[T]) tick() { w.tickN(1) }
+
+// tickN retires n operations from the stickiness budget at once — a
+// batched PushN/PopN is one decision point, so it spends its whole
+// size in one subtraction instead of n decrements.
+func (w *worker[T]) tickN(n int) {
+	w.stick -= n
 	if w.stick > 0 {
 		return
 	}
@@ -312,6 +317,66 @@ func (w *worker[T]) flushInserts() {
 	}
 }
 
+// PushN routes a whole batch through the insertion buffer — the
+// engineered MultiQueue's own mechanism — flushing at each capacity
+// crossing (one locked pushAll per InsertBuffer tasks) and spending
+// the batch's stickiness budget in one tickN.
+func (w *worker[T]) PushN(ps []uint64, vs []T) {
+	sched.CheckPushN(len(ps), len(vs))
+	if len(ps) == 0 {
+		return
+	}
+	w.c.Pushes += uint64(len(ps))
+	for i, p := range ps {
+		w.insBuf = append(w.insBuf, pq.Item[T]{P: p, V: vs[i]})
+		if len(w.insBuf) >= w.s.cfg.InsertBuffer {
+			w.flushInserts()
+		}
+	}
+	w.tickN(len(ps))
+}
+
+// PopN is the batched delete: leftover deletion-buffer tasks are served
+// first (one copy), then a single two-choice refill extracts up to the
+// rest of dst directly from the locked winner — the deletion-buffer
+// mechanism with the caller's slice as the buffer, skipping the
+// intermediate copy entirely, including on the sweep fallback.
+func (w *worker[T]) PopN(dst []sched.Task[T]) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	n := 0
+	if w.delIdx < len(w.delBuf) {
+		k := copy(dst, w.delBuf[w.delIdx:])
+		clear(w.delBuf[w.delIdx : w.delIdx+k])
+		w.delIdx += k
+		n = k
+	}
+	flushed := false
+	for n < len(dst) {
+		got := w.refillInto(dst[n:])
+		if got > 0 {
+			n += got
+			break
+		}
+		if !flushed && len(w.insBuf) > 0 {
+			// Our unflushed insertion buffer may hold the only remaining
+			// tasks; publish it and retry so tasks can never strand.
+			w.flushInserts()
+			flushed = true
+			continue
+		}
+		break
+	}
+	if n > 0 {
+		w.c.Pops += uint64(n)
+	} else {
+		w.c.EmptyPops++
+	}
+	w.tickN(max(n, 1))
+	return n
+}
+
 // Pop serves the deletion buffer, refilling it from the sticky pair (or,
 // failing that, a global sweep) when it runs dry.
 func (w *worker[T]) Pop() (uint64, T, bool) {
@@ -341,12 +406,22 @@ func (w *worker[T]) Pop() (uint64, T, bool) {
 	}
 }
 
-// refill pre-pops a batch into the deletion buffer from the two-choice
-// winner of the sticky pair, comparing the pair's cached tops without
-// locking either queue. Lock failures resample the contended slot; empty
-// pairs resample both. After bounded attempts it falls back to a full
-// sweep so spurious emptiness is rare.
+// refill pre-pops a batch into the deletion buffer; it is the scalar
+// wrapper over refillInto with the worker-owned buffer as the target.
 func (w *worker[T]) refill() bool {
+	got := w.refillInto(w.delBuf[:w.s.cfg.DeleteBuffer])
+	w.delBuf = w.delBuf[:got]
+	w.delIdx = 0
+	return got > 0
+}
+
+// refillInto extracts up to len(dst) tasks into dst from the two-choice
+// winner of the sticky pair, comparing the pair's cached tops without
+// locking either queue and popping the whole run under the winner's
+// single lock acquisition. Lock failures resample the contended slot;
+// empty pairs resample both. After bounded attempts it falls back to a
+// full sweep so spurious emptiness is rare. Returns the task count.
+func (w *worker[T]) refillInto(dst []pq.Item[T]) int {
 	for attempt := 0; attempt < 4; attempt++ {
 		slot := 0
 		if w.s.queues[w.sticky[1]].top.Load() < w.s.queues[w.sticky[0]].top.Load() {
@@ -363,26 +438,25 @@ func (w *worker[T]) refill() bool {
 			w.resampleSlot(slot)
 			continue
 		}
-		w.delBuf = q.popBatch(w.s.cfg.DeleteBuffer, w.delBuf[:0])
-		w.delIdx = 0
+		got := len(q.popBatch(len(dst), dst[:0]))
 		q.mu.Unlock()
-		if len(w.delBuf) > 0 {
-			return true
+		if got > 0 {
+			return got
 		}
 		w.resample()
 	}
-	return w.sweepRefill()
+	return w.sweepRefillInto(dst)
 }
 
-// sweepRefill scans every queue once from a random start and refills the
-// deletion buffer from the first non-empty one. It returns false only
-// when every queue was observed empty.
+// sweepRefillInto scans every queue once from a random start and fills
+// dst from the first non-empty one. It returns 0 only when every queue
+// was observed empty.
 //
 // The first pass uses try-locks (counting failures in LockFails) so the
 // cold path never blocks behind a queue busy serving other workers;
 // queues skipped by the first pass are re-visited with a blocking lock,
 // preserving the every-queue-observed guarantee.
-func (w *worker[T]) sweepRefill() bool {
+func (w *worker[T]) sweepRefillInto(dst []pq.Item[T]) int {
 	m := len(w.s.queues)
 	start := w.rng.Intn(m)
 	w.sweepSkip = w.sweepSkip[:0]
@@ -397,22 +471,20 @@ func (w *worker[T]) sweepRefill() bool {
 			w.sweepSkip = append(w.sweepSkip, qi)
 			continue
 		}
-		w.delBuf = q.popBatch(w.s.cfg.DeleteBuffer, w.delBuf[:0])
-		w.delIdx = 0
+		got := len(q.popBatch(len(dst), dst[:0]))
 		q.mu.Unlock()
-		if len(w.delBuf) > 0 {
-			return true
+		if got > 0 {
+			return got
 		}
 	}
 	for _, qi := range w.sweepSkip {
 		q := &w.s.queues[qi]
 		q.mu.Lock()
-		w.delBuf = q.popBatch(w.s.cfg.DeleteBuffer, w.delBuf[:0])
-		w.delIdx = 0
+		got := len(q.popBatch(len(dst), dst[:0]))
 		q.mu.Unlock()
-		if len(w.delBuf) > 0 {
-			return true
+		if got > 0 {
+			return got
 		}
 	}
-	return false
+	return 0
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/algos"
+	"repro/internal/graph"
 	"repro/internal/klsm"
 )
 
@@ -111,4 +113,83 @@ func TestRankErrorRegression(t *testing.T) {
 	t.Logf("lockstep mean rank error: EMQ=%.2f (bound %.0f) kLSM=%.2f (bound %.0f) SMQ=%.2f MQ=%.2f",
 		emqStats.MeanDisplacement, bound, klsmStats.MeanDisplacement, klsmBound,
 		smqStats.MeanDisplacement, mqStats.MeanDisplacement)
+}
+
+// TestRankErrorRegressionBatched runs the lockstep probe through the
+// bulk operations (PushN/PopN). A batch is taken as a unit, so each
+// envelope gains a batch-sized term relative to the scalar bounds:
+//
+//   - the EMQ's refill serves up to batch tasks from one locked winner
+//     — the same window its DeleteBuffer already opens, so with
+//     batch <= DeleteBuffer the scalar envelope applies unchanged;
+//   - the k-LSM may drain up to batch tasks from the global LSM under
+//     one lock while each drained task can skip the usual
+//     (P−1)·k tasks hiding in other locals, adding at most batch−1 to
+//     the scalar bound per pop;
+//   - the strict k-LSM (k = 0) must stay EXACT even through batches:
+//     a batched pop from the global LSM under one lock is a prefix of
+//     the true priority order, so the drain comes out perfectly
+//     sorted — batching must never relax an exact configuration.
+func TestRankErrorRegressionBatched(t *testing.T) {
+	const (
+		workers = 4
+		tasks   = 20000
+		batch   = 8
+	)
+
+	const (
+		emqStick = 16
+		emqBuf   = 16
+		emqC     = 2
+	)
+	emqStats := ProbeRankLockstepBatched(EMQSpec("EMQ", emqStick, emqBuf, 0), workers, tasks, batch)
+	if math.IsNaN(emqStats.MeanDisplacement) || math.IsInf(emqStats.MeanDisplacement, 0) {
+		t.Fatalf("batched EMQ mean rank error is not finite: %v", emqStats.MeanDisplacement)
+	}
+	if bound := emqRankErrorBound(workers, emqC, emqBuf, emqStick); emqStats.MeanDisplacement > bound {
+		t.Errorf("batched EMQ mean rank error %.2f exceeds documented bound %.0f",
+			emqStats.MeanDisplacement, bound)
+	}
+
+	const klsmK = 256
+	klsmStats := ProbeRankLockstepBatched(KLSMSpec("kLSM", klsmK), workers, tasks, batch)
+	klsmBound := klsmRankErrorBound(workers, klsmK) + float64(batch-1)
+	if klsmStats.MeanDisplacement > klsmBound {
+		t.Errorf("batched k-LSM mean rank error %.2f exceeds structural bound %.0f",
+			klsmStats.MeanDisplacement, klsmBound)
+	}
+	if float64(klsmStats.MaxDisplacement) > klsmBound {
+		t.Errorf("batched k-LSM max rank error %d exceeds structural bound %.0f",
+			klsmStats.MaxDisplacement, klsmBound)
+	}
+
+	strictStats := ProbeRankLockstepBatched(KLSMSpec("kLSM strict", klsm.Strict), workers, tasks, batch)
+	if strictStats.MeanDisplacement != 0 || strictStats.MaxDisplacement != 0 ||
+		strictStats.InversionFrac != 0 {
+		t.Errorf("strict k-LSM is not exact through batches: %+v", strictStats)
+	}
+
+	t.Logf("batched lockstep mean rank error: EMQ=%.2f kLSM=%.2f (bound %.0f)",
+		emqStats.MeanDisplacement, klsmStats.MeanDisplacement, klsmBound)
+}
+
+// TestRankRegressionBatchedDriver runs a real workload end to end
+// through the batched driver (algos.drive pops PopN batches, coalesces
+// pushes into PushN, and delta-batches the Pending accounting) and
+// pins its exactness: whatever the schedulers relax, SSSP must still
+// equal Dijkstra for every lineup member.
+func TestRankRegressionBatchedDriver(t *testing.T) {
+	g := graph.GenerateRoadGrid(40, 40, 17)
+	want, _ := algos.DijkstraSeq(g, 0)
+	for _, spec := range AllSchedulers() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			got, _ := algos.SSSP(g, 0, spec.Make(4))
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+				}
+			}
+		})
+	}
 }

@@ -47,6 +47,7 @@ package klsm
 
 import (
 	"fmt"
+	"slices"
 	"sync/atomic"
 
 	"repro/internal/contend"
@@ -311,6 +312,28 @@ func (g *globalLSM[T]) pop(c *sched.Counters) (pq.Item[T], bool) {
 	return it, ok
 }
 
+// popN removes up to len(dst) tasks whose priority beats bound under a
+// single lock acquisition — the batched counterpart of the per-task
+// local-vs-global race in Pop. The bound keeps the batched delete as
+// honest as the scalar one: the moment the global minimum stops
+// beating the caller's local minimum, the drain stops and the caller
+// re-runs the comparison.
+func (g *globalLSM[T]) popN(dst []pq.Item[T], bound uint64, c *sched.Counters) int {
+	g.lock(c)
+	n := 0
+	for n < len(dst) && g.l.min() < bound {
+		it, ok := g.l.pop()
+		if !ok {
+			break
+		}
+		dst[n] = it
+		n++
+	}
+	g.top.Store(g.l.min())
+	g.mu.Unlock()
+	return n
+}
+
 // KLSM is the k-LSM relaxed priority scheduler.
 type KLSM[T any] struct {
 	cfg      Config
@@ -381,6 +404,37 @@ func (w *worker[T]) Push(p uint64, v T) {
 	}
 }
 
+// PushN turns the whole batch into ONE sorted block and inserts it
+// into the local LSM in a single insertBlock — the per-element
+// singleton-block + geometric-merge cascade is skipped entirely, which
+// is exactly the LSM's favourite input shape (it consumes sorted runs
+// in O(run)). The relaxation bound is enforced once after the batch,
+// so at most one spill (one global lock acquisition) per PushN.
+func (w *worker[T]) PushN(ps []uint64, vs []T) {
+	sched.CheckPushN(len(ps), len(vs))
+	if len(ps) == 0 {
+		return
+	}
+	w.c.Pushes += uint64(len(ps))
+	b := w.local.getBlock(len(ps))
+	for i, p := range ps {
+		b.items = append(b.items, pq.Item[T]{P: p, V: vs[i]})
+	}
+	slices.SortFunc(b.items, func(a, b pq.Item[T]) int {
+		switch {
+		case a.P < b.P:
+			return -1
+		case a.P > b.P:
+			return 1
+		}
+		return 0
+	})
+	w.local.insertBlock(b)
+	if w.local.n > w.s.cfg.Relaxation {
+		w.spillOverflow()
+	}
+}
+
 // spillOverflow moves whole blocks, largest first, from the local LSM
 // into the global LSM until the local holds at most k tasks. The blocks
 // are merged into the global under a single lock acquisition.
@@ -408,6 +462,45 @@ func (w *worker[T]) spillOverflow() {
 // worker's local LSM. ok=false means this worker observed both LSMs
 // empty; tasks may still sit in other workers' local LSMs (spurious
 // emptiness, handled by the sched.Pending protocol).
+// PopN fills dst with the batched form of Pop's local-vs-global race:
+// each local winner is removed synchronization-free as before, but a
+// winning global minimum is drained in one locked popN that keeps
+// taking tasks while the global top stays better than the local
+// minimum — one lock acquisition where the scalar loop would pay one
+// per task.
+func (w *worker[T]) PopN(dst []sched.Task[T]) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	n := 0
+	for n < len(dst) {
+		localTop := w.local.min()
+		globalTop := w.s.global.top.Load()
+		if localTop <= globalTop {
+			if localTop == pq.InfPriority {
+				break
+			}
+			it, _ := w.local.pop()
+			dst[n] = it
+			n++
+			continue
+		}
+		got := w.s.global.popN(dst[n:], localTop, w.c)
+		if got == 0 {
+			// The global drained between the peek and the lock;
+			// re-examine both minima.
+			continue
+		}
+		n += got
+	}
+	if n > 0 {
+		w.c.Pops += uint64(n)
+	} else {
+		w.c.EmptyPops++
+	}
+	return n
+}
+
 func (w *worker[T]) Pop() (uint64, T, bool) {
 	for {
 		localTop := w.local.min()

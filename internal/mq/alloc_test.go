@@ -57,3 +57,51 @@ func TestSteadyStateAllocFree(t *testing.T) {
 		})
 	}
 }
+
+// TestSteadyStateBatchAllocFree asserts the zero-alloc steady state of
+// the Multi-Queue bulk operations across every delete policy: a
+// PopN→PushN pair must not touch the allocator once the worker-owned
+// zip scratch has grown (reused in place, vacated slots zeroed).
+func TestSteadyStateBatchAllocFree(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"classic":     Classic(1, 4),
+		"reld":        RELD(1),
+		"batch_batch": {Workers: 1, C: 4, Insert: InsertBatch, Delete: DeleteBatch},
+		"peek":        {Workers: 1, C: 4, PeekTops: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := New[int](cfg)
+			w := s.Worker(0)
+			rng := xrand.New(42)
+			warmWalk(w, rng)
+			const batch = 16
+			dst := make([]sched.Task[int], batch)
+			ps := make([]uint64, 0, batch)
+			vs := make([]int, 0, batch)
+			runBatchPair(w, dst, &ps, &vs, rng) // warm the zip scratch
+			allocs := testing.AllocsPerRun(2000, func() {
+				runBatchPair(w, dst, &ps, &vs, rng)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state batch pop+push allocates %.3f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// runBatchPair is one steady-state PopN→PushN round: re-insert every
+// popped task with a fresh priority, reseeding on an empty batch.
+func runBatchPair(w sched.Worker[int], dst []sched.Task[int], ps *[]uint64, vs *[]int, rng *xrand.Rand) {
+	k := w.PopN(dst)
+	*ps, *vs = (*ps)[:0], (*vs)[:0]
+	if k == 0 {
+		*ps = append(*ps, uint64(rng.Intn(1<<20)))
+		*vs = append(*vs, 0)
+	} else {
+		for i := 0; i < k; i++ {
+			*ps = append(*ps, uint64(rng.Intn(1<<20)))
+			*vs = append(*vs, dst[i].V)
+		}
+	}
+	w.PushN(*ps, *vs)
+}

@@ -271,6 +271,10 @@ type mqWorker[T any] struct {
 	delBuf []pq.Item[T] // batching delete buffer
 	delIdx int
 
+	// bulk is the PushN zip scratch (pairs assembled before the single
+	// locked pushAll); reused in place, zeroed after each batch.
+	bulk []pq.Item[T]
+
 	sweepSkip []int // queues the sweep's try-lock pass skipped (reused)
 
 	// Workers sit in one contiguous slice and mutate lastIns/lastDel/
@@ -303,6 +307,49 @@ func (w *mqWorker[T]) Push(p uint64, v T) {
 			w.lastIns = w.smp.Sample()
 		}
 	}
+}
+
+// PushN inserts a whole batch under a single lock acquisition: the
+// pairs are zipped into the worker's scratch run and pushed with one
+// pushAll on one target queue (the temporal-locality queue choice is
+// made once per batch — placing a batch on one queue is the same
+// relaxation-for-synchronization trade the InsertBatch policy makes).
+// Under the InsertBatch policy the batch routes through the insert
+// buffer, flushing at each capacity crossing.
+func (w *mqWorker[T]) PushN(ps []uint64, vs []T) {
+	sched.CheckPushN(len(ps), len(vs))
+	if len(ps) == 0 {
+		return
+	}
+	w.c.Pushes += uint64(len(ps))
+	if w.s.cfg.Insert == InsertBatch {
+		for i, p := range ps {
+			w.insBuf = append(w.insBuf, pq.Item[T]{P: p, V: vs[i]})
+			if len(w.insBuf) >= w.s.cfg.BatchInsert {
+				w.flushInsertBuffer()
+			}
+		}
+		return
+	}
+	w.bulk = w.bulk[:0]
+	for i, p := range ps {
+		w.bulk = append(w.bulk, pq.Item[T]{P: p, V: vs[i]})
+	}
+	if w.lastIns < 0 || w.rng.Bernoulli(w.s.cfg.PInsertChange) {
+		w.lastIns = w.smp.Sample()
+	}
+	for {
+		q := &w.s.queues[w.lastIns]
+		if q.mu.TryLock() {
+			q.pushAll(w.bulk)
+			q.mu.Unlock()
+			break
+		}
+		w.c.LockFails++
+		w.lastIns = w.smp.Sample()
+	}
+	clear(w.bulk)
+	w.bulk = w.bulk[:0]
 }
 
 // flushInsertBuffer moves the whole insert batch into one random queue
@@ -341,6 +388,157 @@ func (w *mqWorker[T]) Pop() (uint64, T, bool) {
 		w.c.EmptyPops++
 	}
 	return p, v, ok
+}
+
+// PopN is the batched delete: one two-choice decision and one lock
+// acquisition serve the whole batch, extracting up to len(dst) tasks
+// from the winning queue in a single popBatch (the DeleteBatch policy's
+// trade, generalized to every delete policy and to caller-sized
+// batches). Leftovers in the DeleteBatch thread-local buffer are served
+// first so scalar and batched pops interleave without reordering the
+// buffered run.
+func (w *mqWorker[T]) PopN(dst []sched.Task[T]) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	n := w.popNInto(dst)
+	if n == 0 && len(w.insBuf) > 0 {
+		// Our unflushed insert batch may hold the only remaining tasks;
+		// publish it and retry so tasks can never strand (liveness).
+		w.flushInsertBuffer()
+		n = w.popNInto(dst)
+	}
+	if n > 0 {
+		w.c.Pops += uint64(n)
+	} else {
+		w.c.EmptyPops++
+	}
+	return n
+}
+
+func (w *mqWorker[T]) popNInto(dst []pq.Item[T]) int {
+	n := 0
+	if w.delIdx < len(w.delBuf) {
+		k := copy(dst, w.delBuf[w.delIdx:])
+		clear(w.delBuf[w.delIdx : w.delIdx+k])
+		w.delIdx += k
+		n = k
+		if n == len(dst) {
+			return n
+		}
+	}
+	if w.s.cfg.Delete == DeleteLocal {
+		return w.popNLocal(dst, n)
+	}
+	// Temporal locality carries over to batches: with probability
+	// 1−PDeleteChange the whole batch drains from the previous delete
+	// queue (the same reuse the scalar popTemporalLocality applies per
+	// task), falling through to a fresh two-choice pick on a miss.
+	if w.lastDel >= 0 && !w.rng.Bernoulli(w.s.cfg.PDeleteChange) {
+		q := &w.s.queues[w.lastDel]
+		if q.mu.TryLock() {
+			got := q.popBatch(len(dst)-n, dst[:n])
+			q.mu.Unlock()
+			if len(got) > n {
+				return len(got)
+			}
+		} else {
+			w.c.LockFails++
+		}
+	}
+	return w.popNRandom2(dst, n)
+}
+
+// popNRandom2 extracts up to len(dst)-n tasks from the winner of one
+// two-choice pick into dst[n:], honouring PeekTops. The scalar sweep
+// remains the cold-path fallback so spurious emptiness stays rare.
+func (w *mqWorker[T]) popNRandom2(dst []pq.Item[T], n int) int {
+	m := len(w.s.queues)
+	for attempt := 0; attempt < 4; attempt++ {
+		var (
+			q  *lockQueue[T]
+			qi int
+		)
+		if w.s.cfg.PeekTops {
+			i1 := w.smp.Sample()
+			i2 := i1
+			if m > 1 {
+				i2 = w.smp.SampleOther(i1)
+			}
+			qi = i1
+			if w.s.queues[i2].top.Load() < w.s.queues[i1].top.Load() {
+				qi = i2
+			}
+			q = &w.s.queues[qi]
+			if !q.mu.TryLock() {
+				w.c.LockFails++
+				continue
+			}
+		} else {
+			i1 := w.smp.Sample()
+			i2 := i1
+			if m > 1 {
+				i2 = w.smp.SampleOther(i1)
+			}
+			q1, q2 := &w.s.queues[i1], &w.s.queues[i2]
+			if !q1.mu.TryLock() {
+				w.c.LockFails++
+				continue
+			}
+			if i2 != i1 && !q2.mu.TryLock() {
+				q1.mu.Unlock()
+				w.c.LockFails++
+				continue
+			}
+			qi, q = i1, q1
+			if i2 != i1 {
+				loser := q2
+				if q2.heap.Top() < q1.heap.Top() {
+					qi, q = i2, q2
+					loser = q1
+				}
+				loser.mu.Unlock()
+			}
+		}
+		got := q.popBatch(len(dst)-n, dst[:n])
+		q.mu.Unlock()
+		if len(got) > n {
+			w.lastDel = qi
+			return len(got)
+		}
+	}
+	if n > 0 {
+		// Tasks already in hand (delete-buffer leftovers): don't pay a
+		// full-lineup sweep for a top-up that may legitimately fail.
+		return n
+	}
+	if p, v, ok := w.sweep(); ok {
+		dst[n] = pq.Item[T]{P: p, V: v}
+		return n + 1
+	}
+	return n
+}
+
+// popNLocal is the RELD batched delete: drain the worker's own queue
+// block, one lock acquisition per non-empty queue, sweeping globally
+// only when the block is empty.
+func (w *mqWorker[T]) popNLocal(dst []pq.Item[T], n int) int {
+	base := w.id * w.s.cfg.C
+	for off := 0; off < w.s.cfg.C && n < len(dst); off++ {
+		q := &w.s.queues[base+off]
+		q.mu.Lock()
+		got := q.popBatch(len(dst)-n, dst[:n])
+		q.mu.Unlock()
+		n = len(got)
+	}
+	if n > 0 {
+		return n
+	}
+	if p, v, ok := w.sweep(); ok {
+		dst[n] = pq.Item[T]{P: p, V: v}
+		return n + 1
+	}
+	return n
 }
 
 func (w *mqWorker[T]) popPolicy() (uint64, T, bool) {

@@ -353,6 +353,14 @@ func (w *worker[T]) Push(p uint64, v T) {
 	}
 }
 
+// PushN / PopN use the generic scalar fallbacks: OBIM already moves
+// tasks in chunk-sized batches internally (the push chunk is flushed
+// per bucket, the pop chunk is refilled per bag grab), so an extra
+// batching layer on top would only re-buffer already-buffered work.
+func (w *worker[T]) PushN(ps []uint64, vs []T) { sched.PushNLoop[T](w, ps, vs) }
+
+func (w *worker[T]) PopN(dst []sched.Task[T]) int { return sched.PopNLoop[T](w, dst) }
+
 // cachedBag resolves a bag key through the thread-local mirror first
 // (OBIM's "global map mirrored locally for cache efficiency"), dropping
 // entries the pruner has retired.

@@ -1,0 +1,97 @@
+package perfbench
+
+// BenchmarkBatch_* make the amortization curve of the bulk operations
+// visible in `go test -bench` output: for every scheduler in the
+// lineup, stationary pop→push pairs are moved either through the
+// scalar Push/Pop or through PushN/PopN at batch sizes 1, 8 and 64.
+// ns/op is per TASK, so the scalar row is the baseline and the batched
+// rows show how much of the fixed per-operation cost (sampling, lock
+// round trips, counter traffic) each batch size amortizes away; b1
+// exposes the batch API's overhead when it carries a single task.
+//
+// The loops are single-goroutine on purpose: contention-free runs
+// measure exactly the fixed costs the bulk paths exist to amortize,
+// and stay stable enough for curve comparisons (the contended picture
+// is what `smqbench -json` records).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+const benchPrefill = 4096
+
+func benchScheduler(b *testing.B, name string) sched.Scheduler[int] {
+	b.Helper()
+	s, err := build(name, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(0xa5a5)
+	w := s.Worker(0)
+	for i := 0; i < benchPrefill; i++ {
+		w.Push(rng.Uint64()>>(64-prioBits), i)
+	}
+	return s
+}
+
+func BenchmarkBatch_Scalar(b *testing.B) {
+	for _, name := range Lineup() {
+		b.Run(name, func(b *testing.B) {
+			s := benchScheduler(b, name)
+			w := s.Worker(0)
+			rng := xrand.New(7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, v, ok := w.Pop()
+				if !ok {
+					w.Push(rng.Uint64()>>(64-prioBits), i)
+					continue
+				}
+				w.Push(rng.Uint64()>>(64-prioBits), v)
+			}
+		})
+	}
+}
+
+func BenchmarkBatch_Batched(b *testing.B) {
+	for _, name := range Lineup() {
+		for _, batch := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/b%d", name, batch), func(b *testing.B) {
+				s := benchScheduler(b, name)
+				w := s.Worker(0)
+				rng := xrand.New(7)
+				buf := make([]sched.Task[int], batch)
+				ps := make([]uint64, 0, batch)
+				vs := make([]int, 0, batch)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for done := 0; done < b.N; {
+					k := w.PopN(buf)
+					if k == 0 {
+						k = batch
+						ps, vs = ps[:0], vs[:0]
+						for i := 0; i < k; i++ {
+							ps = append(ps, rng.Uint64()>>(64-prioBits))
+							vs = append(vs, done+i)
+						}
+						w.PushN(ps, vs)
+						done += k
+						continue
+					}
+					ps, vs = ps[:0], vs[:0]
+					for i := 0; i < k; i++ {
+						ps = append(ps, rng.Uint64()>>(64-prioBits))
+						vs = append(vs, buf[i].V)
+					}
+					w.PushN(ps, vs)
+					done += k
+				}
+			})
+		}
+	}
+}

@@ -35,7 +35,15 @@ import (
 
 // SchemaVersion identifies the report layout. Bump it when fields
 // change meaning or disappear; additions are backward compatible.
-const SchemaVersion = 1
+// Version history:
+//
+//	1 — scalar throughput / contention / allocation metrics.
+//	2 — adds the batched (PushN/PopN) throughput mode and pop-latency
+//	    percentiles (p50/p99/p99.9 from a log-bucketed histogram).
+//
+// Validate is version-gated: committed version-1 trajectory files
+// (BENCH_PR4.json and earlier) remain valid without the new fields.
+const SchemaVersion = 2
 
 // Report is the top-level JSON document.
 type Report struct {
@@ -48,6 +56,12 @@ type Report struct {
 	OpsPerWorker  int    `json:"ops_per_worker"`
 	Seed          uint64 `json:"seed"`
 	Reps          int    `json:"reps,omitempty"`
+	// BatchSize is the PushN/PopN batch size of the batched mode
+	// (schema >= 2).
+	BatchSize int `json:"batch_size,omitempty"`
+	// LatencyOps is the number of individually timed pops per worker
+	// behind the latency percentiles (schema >= 2).
+	LatencyOps int `json:"latency_ops,omitempty"`
 
 	Results []Result `json:"results"`
 }
@@ -70,6 +84,24 @@ type Result struct {
 	// GCPauseTotalNs is the stop-the-world pause time accumulated
 	// during the timed section.
 	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+
+	// BatchedThroughputOpsPerSec / BatchedNsPerOp measure the same
+	// stationary pop→push workload moved through PopN/PushN batches of
+	// Report.BatchSize tasks (schema >= 2). The ratio to the scalar
+	// throughput is the amortization win of the bulk fast paths.
+	BatchedThroughputOpsPerSec float64 `json:"batched_throughput_ops_per_sec,omitempty"`
+	BatchedNsPerOp             float64 `json:"batched_ns_per_op,omitempty"`
+
+	// PopP50Ns / PopP99Ns / PopP999Ns are scalar-Pop latency
+	// percentiles from a log-bucketed histogram over a separate timed
+	// pass of Report.LatencyOps pops per worker (schema >= 2). They
+	// include ~timer-call overhead (two monotonic clock reads per
+	// sample), which is identical across schedulers, so the numbers
+	// compare within a report; the tail percentiles expose lock convoys
+	// and sweep fallbacks that throughput averages hide.
+	PopP50Ns  float64 `json:"pop_latency_p50_ns,omitempty"`
+	PopP99Ns  float64 `json:"pop_latency_p99_ns,omitempty"`
+	PopP999Ns float64 `json:"pop_latency_p999_ns,omitempty"`
 }
 
 // Config parameterizes a perfbench run.
@@ -92,7 +124,19 @@ type Config struct {
 	// Schedulers restricts the lineup to the named subset; nil runs
 	// everything in Lineup order.
 	Schedulers []string
+	// BatchSize is the PushN/PopN batch size for the batched mode.
+	// 0 means DefaultBatchSize.
+	BatchSize int
+	// LatencyOps is the number of individually timed pops per worker
+	// for the latency pass. 0 derives min(OpsPerWorker, 50000).
+	LatencyOps int
 }
+
+// DefaultBatchSize is the batched-mode PushN/PopN batch size when
+// Config.BatchSize is zero — large enough that lock amortization
+// dominates, small enough to stay within the schedulers' own buffer
+// scale.
+const DefaultBatchSize = 8
 
 func (c *Config) normalize() {
 	if c.Workers <= 0 {
@@ -109,6 +153,12 @@ func (c *Config) normalize() {
 	}
 	if c.Reps <= 0 {
 		c.Reps = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.LatencyOps <= 0 {
+		c.LatencyOps = min(c.OpsPerWorker, 50000)
 	}
 }
 
@@ -167,6 +217,8 @@ func Run(cfg Config) (*Report, error) {
 		OpsPerWorker:  cfg.OpsPerWorker,
 		Seed:          cfg.Seed,
 		Reps:          cfg.Reps,
+		BatchSize:     cfg.BatchSize,
+		LatencyOps:    cfg.LatencyOps,
 	}
 	for _, name := range names {
 		best, err := runOne(name, cfg)
@@ -178,25 +230,79 @@ func Run(cfg Config) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			if res.ThroughputOpsPerSec > best.ThroughputOpsPerSec {
-				best = res
-			}
+			mergeBest(&best, res)
 		}
 		r.Results = append(r.Results, best)
 	}
 	return r, nil
 }
 
+// mergeBest folds one repetition into the kept result, fastest-kept per
+// mode: the scalar metrics travel together (they come from one timed
+// section), the batched throughput is kept at its own best repetition,
+// and the latency percentiles take the field-wise minimum — within a
+// repetition p50 <= p99 <= p99.9, and a field-wise minimum over such
+// triples stays monotone.
+func mergeBest(best *Result, res Result) {
+	if res.ThroughputOpsPerSec > best.ThroughputOpsPerSec {
+		scalarBatched := best.BatchedThroughputOpsPerSec
+		scalarBatchedNs := best.BatchedNsPerOp
+		p50, p99, p999 := best.PopP50Ns, best.PopP99Ns, best.PopP999Ns
+		*best = res
+		best.BatchedThroughputOpsPerSec = scalarBatched
+		best.BatchedNsPerOp = scalarBatchedNs
+		best.PopP50Ns, best.PopP99Ns, best.PopP999Ns = p50, p99, p999
+	}
+	if res.BatchedThroughputOpsPerSec > best.BatchedThroughputOpsPerSec {
+		best.BatchedThroughputOpsPerSec = res.BatchedThroughputOpsPerSec
+		best.BatchedNsPerOp = res.BatchedNsPerOp
+	}
+	best.PopP50Ns = min(best.PopP50Ns, res.PopP50Ns)
+	best.PopP99Ns = min(best.PopP99Ns, res.PopP99Ns)
+	best.PopP999Ns = min(best.PopP999Ns, res.PopP999Ns)
+}
+
+// runOne measures one scheduler: the scalar throughput pass, the
+// batched (PushN/PopN) throughput pass, and the individually timed
+// latency pass, each on a freshly built and prefilled scheduler.
 func runOne(name string, cfg Config) (Result, error) {
-	s, err := build(name, cfg.Workers, cfg.Seed)
+	res, err := runScalar(name, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	// Prefill sequentially through the worker handles (handles are not
-	// concurrency-safe, but sequential multiplexed use is fine).
+	bThr, bNs, err := runBatched(name, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res.BatchedThroughputOpsPerSec = bThr
+	res.BatchedNsPerOp = bNs
+	p50, p99, p999, err := runLatency(name, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res.PopP50Ns, res.PopP99Ns, res.PopP999Ns = p50, p99, p999
+	return res, nil
+}
+
+// prefilled builds the named scheduler and prefills it sequentially
+// through the worker handles (handles are not concurrency-safe, but
+// sequential multiplexed use is fine).
+func prefilled(name string, cfg Config) (sched.Scheduler[int], error) {
+	s, err := build(name, cfg.Workers, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	seedRng := xrand.New(cfg.Seed ^ 0xa5a5a5a5)
 	for i := 0; i < cfg.Prefill; i++ {
 		s.Worker(i%cfg.Workers).Push(seedRng.Uint64()>>(64-prioBits), i)
+	}
+	return s, nil
+}
+
+func runScalar(name string, cfg Config) (Result, error) {
+	s, err := prefilled(name, cfg)
+	if err != nil {
+		return Result{}, err
 	}
 
 	// Warm the allocator and GC state so the measured deltas reflect
@@ -244,6 +350,121 @@ func runOne(name string, cfg Config) (Result, error) {
 	}, nil
 }
 
+// padCount is a per-worker operation counter padded against false
+// sharing (the batched pass completes a variable number of pairs per
+// worker, so the exact total must be summed afterwards).
+type padCount struct {
+	n uint64
+	_ [56]byte
+}
+
+// runBatched measures the stationary pop→push workload moved through
+// the bulk operations: each worker drains up to BatchSize tasks per
+// PopN and re-inserts the whole batch with fresh random priorities in
+// one PushN. Ops are pop→push pairs, as in the scalar pass.
+func runBatched(name string, cfg Config) (throughput, nsPerOp float64, err error) {
+	s, err := prefilled(name, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	counts := make([]padCount, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Worker(w)
+			rng := xrand.New(cfg.Seed + uint64(w)*0x9e3779b97f4a7c15)
+			buf := make([]sched.Task[int], cfg.BatchSize)
+			ps := make([]uint64, 0, cfg.BatchSize)
+			vs := make([]int, 0, cfg.BatchSize)
+			done := 0
+			for done < cfg.OpsPerWorker {
+				k := h.PopN(buf)
+				if k == 0 {
+					// Locally dry: reseed one whole batch to keep the
+					// queue size stationary (the push half of the pairs).
+					k = cfg.BatchSize
+					ps, vs = ps[:0], vs[:0]
+					for i := 0; i < k; i++ {
+						ps = append(ps, rng.Uint64()>>(64-prioBits))
+						vs = append(vs, done+i)
+					}
+					h.PushN(ps, vs)
+					done += k
+					continue
+				}
+				ps, vs = ps[:0], vs[:0]
+				for i := 0; i < k; i++ {
+					ps = append(ps, rng.Uint64()>>(64-prioBits))
+					vs = append(vs, buf[i].V)
+				}
+				h.PushN(ps, vs)
+				done += k
+			}
+			counts[w].n = uint64(done)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var totalOps uint64
+	for i := range counts {
+		totalOps += counts[i].n
+	}
+	return float64(totalOps) / elapsed.Seconds(),
+		float64(elapsed.Nanoseconds()) / float64(totalOps), nil
+}
+
+// runLatency times every scalar Pop individually into per-worker
+// log-bucketed histograms and reports merged percentiles. The sample
+// includes two monotonic clock reads (identical across schedulers);
+// empty pops are timed too — a sweep that scans every queue before
+// reporting emptiness is real tail latency, not noise.
+func runLatency(name string, cfg Config) (p50, p99, p999 float64, err error) {
+	s, err := prefilled(name, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	hists := make([]latencyHist, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Worker(w)
+			hist := &hists[w]
+			rng := xrand.New(cfg.Seed + uint64(w)*0x9e3779b97f4a7c15)
+			for i := 0; i < cfg.LatencyOps; i++ {
+				t0 := time.Now()
+				_, v, ok := h.Pop()
+				// Clamp below-clock-resolution samples to 1ns: a pop
+				// faster than the monotonic tick must still count as a
+				// positive latency, or coarse-timer platforms would
+				// emit p50 = 0 and fail schema validation.
+				d := uint64(time.Since(t0))
+				if d == 0 {
+					d = 1
+				}
+				hist.Record(d)
+				if !ok {
+					h.Push(rng.Uint64()>>(64-prioBits), i)
+					continue
+				}
+				h.Push(rng.Uint64()>>(64-prioBits), v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var merged latencyHist
+	for i := range hists {
+		merged.Merge(&hists[i])
+	}
+	return float64(merged.Quantile(0.50)),
+		float64(merged.Quantile(0.99)),
+		float64(merged.Quantile(0.999)), nil
+}
+
 // Validate checks a report against the schema contract. CI runs it over
 // the freshly generated artifact, and the unit tests run it over the
 // committed BENCH_*.json files, so a drifting writer fails the build.
@@ -251,8 +472,11 @@ func Validate(r *Report) error {
 	if r == nil {
 		return fmt.Errorf("perfbench: nil report")
 	}
-	if r.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("perfbench: schema_version = %d, want %d", r.SchemaVersion, SchemaVersion)
+	// Version-gated: committed version-1 trajectory files (no batched
+	// mode, no latency percentiles) remain valid; anything else must be
+	// the current schema.
+	if r.SchemaVersion != 1 && r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("perfbench: schema_version = %d, want 1 or %d", r.SchemaVersion, SchemaVersion)
 	}
 	if r.GoVersion == "" || r.GeneratedBy == "" {
 		return fmt.Errorf("perfbench: missing go_version / generated_by")
@@ -278,6 +502,21 @@ func Validate(r *Report) error {
 		if res.AllocsPerOp < 0 || res.BytesPerOp < 0 {
 			return fmt.Errorf("perfbench: %s: negative allocation rate", res.Scheduler)
 		}
+		if r.SchemaVersion >= 2 {
+			if res.BatchedThroughputOpsPerSec <= 0 || res.BatchedNsPerOp <= 0 {
+				return fmt.Errorf("perfbench: %s: non-positive batched throughput", res.Scheduler)
+			}
+			if res.PopP50Ns <= 0 || res.PopP99Ns <= 0 || res.PopP999Ns <= 0 {
+				return fmt.Errorf("perfbench: %s: missing pop-latency percentiles", res.Scheduler)
+			}
+			if res.PopP50Ns > res.PopP99Ns || res.PopP99Ns > res.PopP999Ns {
+				return fmt.Errorf("perfbench: %s: non-monotone pop-latency percentiles (p50=%g p99=%g p99.9=%g)",
+					res.Scheduler, res.PopP50Ns, res.PopP99Ns, res.PopP999Ns)
+			}
+		}
+	}
+	if r.SchemaVersion >= 2 && r.BatchSize <= 0 {
+		return fmt.Errorf("perfbench: schema 2 report without batch_size")
 	}
 	return nil
 }

@@ -67,21 +67,29 @@ func TestMarshalParseRoundTrip(t *testing.T) {
 func TestValidateRejectsBadReports(t *testing.T) {
 	good := &Report{
 		SchemaVersion: SchemaVersion, GeneratedBy: "test", GoVersion: "go",
-		Workers: 1, Prefill: 1, OpsPerWorker: 1,
-		Results: []Result{{Scheduler: "mq", ThroughputOpsPerSec: 1, NsPerOp: 1}},
+		Workers: 1, Prefill: 1, OpsPerWorker: 1, BatchSize: 8,
+		Results: []Result{{
+			Scheduler: "mq", ThroughputOpsPerSec: 1, NsPerOp: 1,
+			BatchedThroughputOpsPerSec: 2, BatchedNsPerOp: 0.5,
+			PopP50Ns: 100, PopP99Ns: 500, PopP999Ns: 900,
+		}},
 	}
 	if err := Validate(good); err != nil {
 		t.Fatalf("baseline good report rejected: %v", err)
 	}
 	cases := map[string]func(r *Report){
-		"nil results":      func(r *Report) { r.Results = nil },
-		"bad version":      func(r *Report) { r.SchemaVersion = SchemaVersion + 1 },
-		"no go version":    func(r *Report) { r.GoVersion = "" },
-		"zero workers":     func(r *Report) { r.Workers = 0 },
-		"empty name":       func(r *Report) { r.Results[0].Scheduler = "" },
-		"zero throughput":  func(r *Report) { r.Results[0].ThroughputOpsPerSec = 0 },
-		"negative allocs":  func(r *Report) { r.Results[0].AllocsPerOp = -1 },
-		"duplicate result": func(r *Report) { r.Results = append(r.Results, r.Results[0]) },
+		"nil results":        func(r *Report) { r.Results = nil },
+		"bad version":        func(r *Report) { r.SchemaVersion = SchemaVersion + 1 },
+		"no go version":      func(r *Report) { r.GoVersion = "" },
+		"zero workers":       func(r *Report) { r.Workers = 0 },
+		"empty name":         func(r *Report) { r.Results[0].Scheduler = "" },
+		"zero throughput":    func(r *Report) { r.Results[0].ThroughputOpsPerSec = 0 },
+		"negative allocs":    func(r *Report) { r.Results[0].AllocsPerOp = -1 },
+		"duplicate result":   func(r *Report) { r.Results = append(r.Results, r.Results[0]) },
+		"no batched mode":    func(r *Report) { r.Results[0].BatchedThroughputOpsPerSec = 0 },
+		"no batch size":      func(r *Report) { r.BatchSize = 0 },
+		"missing latency":    func(r *Report) { r.Results[0].PopP999Ns = 0 },
+		"unsorted latencies": func(r *Report) { r.Results[0].PopP50Ns = 600 },
 	}
 	for name, mutate := range cases {
 		r := *good
@@ -93,6 +101,55 @@ func TestValidateRejectsBadReports(t *testing.T) {
 	}
 	if err := Validate(nil); err == nil {
 		t.Error("Validate accepted nil")
+	}
+}
+
+// TestValidateAcceptsVersion1 pins the version gate: the committed
+// version-1 trajectory files predate the batched mode and the latency
+// percentiles, and must stay valid without them.
+func TestValidateAcceptsVersion1(t *testing.T) {
+	v1 := &Report{
+		SchemaVersion: 1, GeneratedBy: "test", GoVersion: "go",
+		Workers: 1, Prefill: 1, OpsPerWorker: 1,
+		Results: []Result{{Scheduler: "mq", ThroughputOpsPerSec: 1, NsPerOp: 1}},
+	}
+	if err := Validate(v1); err != nil {
+		t.Fatalf("version-1 report without batch/latency fields rejected: %v", err)
+	}
+}
+
+// TestBatchAndLatencyFieldsRoundTrip checks that the schema-2 additions
+// survive Marshal/Parse and that a real run populates them.
+func TestBatchAndLatencyFieldsRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Schedulers = []string{"emq"}
+	cfg.BatchSize = 4
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Results[0]
+	if res.BatchedThroughputOpsPerSec <= 0 || res.PopP50Ns <= 0 {
+		t.Fatalf("run did not populate batch/latency fields: %+v", res)
+	}
+	if r.BatchSize != 4 || r.LatencyOps <= 0 {
+		t.Fatalf("run config fields not recorded: %+v", r)
+	}
+	b, err := Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Results[0]
+	if got.BatchedThroughputOpsPerSec != res.BatchedThroughputOpsPerSec ||
+		got.BatchedNsPerOp != res.BatchedNsPerOp ||
+		got.PopP50Ns != res.PopP50Ns || got.PopP99Ns != res.PopP99Ns ||
+		got.PopP999Ns != res.PopP999Ns ||
+		back.BatchSize != r.BatchSize || back.LatencyOps != r.LatencyOps {
+		t.Fatalf("schema-2 fields lost in round trip:\n got %+v\nwant %+v", got, res)
 	}
 }
 

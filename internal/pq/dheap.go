@@ -63,6 +63,40 @@ func (h *DHeap[T]) PushItem(it Item[T]) {
 	h.siftUp(len(h.items) - 1)
 }
 
+// PushBatch inserts a run of prepared Items. The whole run is appended
+// in one grow step and then sifted item by item in index order (each
+// sift-up only inspects ancestors, so the not-yet-sifted suffix cannot
+// be observed), which replaces per-call append/bounds bookkeeping with
+// one slice extension — the batched-insert primitive behind PushN.
+func (h *DHeap[T]) PushBatch(items []Item[T]) {
+	if len(items) == 0 {
+		return
+	}
+	start := len(h.items)
+	h.items = append(h.items, items...)
+	for i := start; i < len(h.items); i++ {
+		h.siftUp(i)
+	}
+}
+
+// PushPairs inserts the parallel-slice batch ps[i]/vs[i] — the bulk
+// Worker.PushN arrives in exactly this shape, so schedulers whose
+// critical section is the insertion itself (the coarse global heap)
+// can skip the zip into an Item scratch entirely. Both slices must
+// have equal length (the caller validates).
+func (h *DHeap[T]) PushPairs(ps []uint64, vs []T) {
+	if len(ps) == 0 {
+		return
+	}
+	start := len(h.items)
+	for i, p := range ps {
+		h.items = append(h.items, Item[T]{P: p, V: vs[i]})
+	}
+	for i := start; i < len(h.items); i++ {
+		h.siftUp(i)
+	}
+}
+
 // Pop removes and returns the minimum-priority task.
 func (h *DHeap[T]) Pop() (p uint64, v T, ok bool) {
 	if len(h.items) == 0 {
@@ -86,14 +120,32 @@ func (h *DHeap[T]) Pop() (p uint64, v T, ok bool) {
 // PopBatch removes up to k minimum-priority tasks in priority order,
 // appending them to dst, and returns the extended slice. This is the
 // extractTopB / steal(k) primitive of Listings 3 and 4.
+//
+// It is a true batch primitive, not a loop of Pop: the heap length is
+// tracked in a local across the k extractions (one slice-header store
+// at the end instead of one per task) and the vacated tail is zeroed
+// in one clear (a memclr) rather than one write per pop. On the
+// scheduler batch paths every popped task pays one sift-down either
+// way, so these fixed costs are exactly what distinguishes a batched
+// delete from k scalar ones.
 func (h *DHeap[T]) PopBatch(k int, dst []Item[T]) []Item[T] {
-	for i := 0; i < k; i++ {
-		p, v, ok := h.Pop()
-		if !ok {
-			break
-		}
-		dst = append(dst, Item[T]{P: p, V: v})
+	n := len(h.items)
+	if k > n {
+		k = n
 	}
+	if k <= 0 {
+		return dst
+	}
+	items := h.items
+	for j := 0; j < k; j++ {
+		dst = append(dst, items[0])
+		last := n - 1 - j
+		if last > 0 {
+			h.siftDownItemN(0, items[last], last)
+		}
+	}
+	clear(items[n-k:])
+	h.items = items[:n-k]
 	return dst
 }
 
@@ -144,8 +196,14 @@ func (h *DHeap[T]) siftDown(i int) {
 // as vacant: callers either pass items[i] itself (siftDown) or an
 // element displaced from elsewhere that logically replaces it (Pop).
 func (h *DHeap[T]) siftDownItem(i int, it Item[T]) {
+	h.siftDownItemN(i, it, len(h.items))
+}
+
+// siftDownItemN is siftDownItem over the logical prefix items[:n] —
+// PopBatch shrinks the heap k times without re-slicing the backing
+// header per pop, so the live length arrives as an argument.
+func (h *DHeap[T]) siftDownItemN(i int, it Item[T], n int) {
 	items := h.items
-	n := len(items)
 	d := h.d
 	for {
 		first := i*d + 1

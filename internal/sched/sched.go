@@ -23,20 +23,86 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"repro/internal/contend"
+	"repro/internal/pq"
 )
+
+// Task is a prioritized task as surfaced by the bulk operations: the
+// priority paired with the opaque payload. It aliases the internal
+// pq.Item so scheduler fast paths can move batches between worker
+// scratch buffers and their heaps without copying field by field.
+type Task[T any] = pq.Item[T]
 
 // Worker is a per-goroutine handle into a scheduler.
 // Priorities are uint64 with lower = higher priority.
+//
+// # Bulk operations
+//
+// PushN and PopN are the batched counterparts of Push and Pop. They
+// carry the same relaxation contract per task, but amortize the
+// scheduler's fixed per-operation costs (queue sampling, lock
+// acquisition, atomic counter traffic) over the whole batch — the
+// lever behind both the SMQ's steal buffers and the engineered
+// MultiQueue's operation buffers. A batch may be placed as a unit
+// (one sampled queue, one lock acquisition), so the rank relaxation
+// of a batched operation grows with the batch size; callers trade
+// rank for throughput exactly as with the schedulers' internal
+// buffers.
 type Worker[T any] interface {
 	// Push inserts a task.
 	Push(p uint64, v T)
 	// Pop removes some high-priority task. ok=false means this worker
 	// found no task right now; it does NOT imply global emptiness.
 	Pop() (p uint64, v T, ok bool)
+	// PushN inserts a batch: ps[i] is the priority of vs[i]. The two
+	// slices must have equal length; an empty batch is a no-op. The
+	// scheduler does not retain either slice.
+	PushN(ps []uint64, vs []T)
+	// PopN removes up to len(dst) tasks into dst[:n] and returns n.
+	// n == 0 with a non-empty dst means the same as a failed Pop: this
+	// worker found nothing right now, NOT global emptiness. Tasks are
+	// not guaranteed to arrive in priority order (each is individually
+	// as relaxed as a scalar Pop).
+	PopN(dst []Task[T]) int
+}
+
+// CheckPushN validates a PushN batch's parallel-slice lengths; every
+// implementation calls it first so a mismatched call fails loudly at
+// the boundary instead of corrupting a queue.
+func CheckPushN(np, nv int) {
+	if np != nv {
+		panic(fmt.Sprintf("sched: PushN slice lengths differ: %d priorities, %d values", np, nv))
+	}
+}
+
+// PushNLoop is the generic PushN fallback for schedulers without a
+// batched insert fast path (OBIM already chunks internally, the
+// SprayList has no per-operation lock to amortize): it simply loops
+// the scalar Push, preserving the scalar counters and semantics.
+func PushNLoop[T any](w Worker[T], ps []uint64, vs []T) {
+	CheckPushN(len(ps), len(vs))
+	for i, p := range ps {
+		w.Push(p, vs[i])
+	}
+}
+
+// PopNLoop is the generic PopN fallback: scalar Pops until dst is full
+// or the worker comes up empty.
+func PopNLoop[T any](w Worker[T], dst []Task[T]) int {
+	n := 0
+	for n < len(dst) {
+		p, v, ok := w.Pop()
+		if !ok {
+			break
+		}
+		dst[n] = Task[T]{P: p, V: v}
+		n++
+	}
+	return n
 }
 
 // Scheduler is a relaxed concurrent priority scheduler for a fixed set of
@@ -104,6 +170,20 @@ func SumCounters(cs []Counters) Stats {
 // never touch it. When Pending reaches zero no task exists anywhere — not
 // in a queue, not in a local buffer, not being executed — so workers may
 // exit.
+//
+// # Delta batching
+//
+// Batched drivers may fold a whole batch's accounting into one atomic
+// add: after popping k tasks, processing all of them, and collecting m
+// follow-on tasks in a local buffer, a single Inc(m−k) immediately
+// before the PushN that publishes the m tasks is equivalent to m
+// scalar Incs and k scalar Decs. The direction of each half stays
+// safe: the +m registers the collected tasks while they are still
+// buffered (they count as in-flight the whole time), and the −k only
+// retires tasks whose processing — including buffering their
+// follow-ons — has fully completed. Pending therefore never dips to
+// zero while work exists, at the cost of transiently over-counting,
+// which merely makes idle workers re-poll.
 type Pending struct {
 	n atomic.Int64
 }

@@ -99,6 +99,13 @@ func (w *worker[T]) Push(p uint64, v T) {
 	w.s.list.Insert(p, v)
 }
 
+// PushN / PopN use the generic scalar fallbacks: the SprayList has no
+// per-operation lock or sampling step to amortize — every insert and
+// spray walks the one shared structure regardless of batching.
+func (w *worker[T]) PushN(ps []uint64, vs []T) { sched.PushNLoop[T](w, ps, vs) }
+
+func (w *worker[T]) PopN(dst []sched.Task[T]) int { return sched.PopNLoop[T](w, dst) }
+
 // Pop sprays a near-minimal element from the shared skip list.
 func (w *worker[T]) Pop() (uint64, T, bool) {
 	p, v, ok := w.s.list.Spray(w.s.cfg.Params, &w.rng)

@@ -58,6 +58,34 @@
 // contended uniform-priority microbenchmark and emits a
 // schema-versioned report (committed as BENCH_PR<n>.json).
 //
+// # Batching
+//
+// Every Worker also exposes bulk operations — PushN(ps, vs) and
+// PopN(dst) — with scheduler-specific fast paths: the Multi-Queues
+// place or extract a whole batch under a single sampled lock, the SMQ
+// drains its steal buffer and local heap in one pass, the engineered
+// MultiQueue routes batches through its insertion/deletion buffers
+// (filling the caller's slice directly), and the k-LSM turns a batch
+// into one sorted LSM block, skipping the per-element merge cascade.
+// Batches amortize the fixed per-operation costs — queue sampling,
+// lock round trips, atomic counter traffic — that dominate once a
+// workload relaxes many neighbours per popped task. The trade is the
+// same one the schedulers' internal buffers already make: a batch is
+// placed (or taken) as a unit, so rank relaxation grows with batch
+// size. Batches help whenever one task expansion produces several
+// pushes (SSSP relaxations, k-NN candidate updates) and hurt nothing
+// when they carry a single task.
+//
+// Algorithm authors batching Pending accounting should fold a whole
+// batch into one atomic: after popping k tasks, processing them, and
+// buffering m follow-on tasks, a single pending.Inc(m−k) issued
+// BEFORE the PushN that publishes the buffered tasks is equivalent to
+// m scalar Incs and k scalar Decs. The +m registers tasks while they
+// are still buffered (so Pending cannot hit zero while they exist),
+// and the −k retires only fully processed tasks; the transient
+// over-count merely makes idle workers re-poll. This is the contract
+// the built-in workloads (SSSP, BFS, A*, MST, k-NN, PageRank) run on.
+//
 // # Priorities
 //
 // All schedulers order tasks by a uint64 priority where LOWER means
@@ -116,6 +144,10 @@ type Scheduler[T any] = sched.Scheduler[T]
 
 // Worker is a per-goroutine scheduler handle.
 type Worker[T any] = sched.Worker[T]
+
+// Task is a prioritized task as moved by the bulk operations PushN and
+// PopN; see the package documentation's Batching section.
+type Task[T any] = sched.Task[T]
 
 // Stats aggregates scheduler counters (pushes, pops, steals, lock
 // failures, remote accesses).
@@ -291,7 +323,15 @@ func (c *countingWorker[T]) Push(p uint64, v T) {
 	c.inner.Push(p, v)
 }
 
+func (c *countingWorker[T]) PushN(ps []uint64, vs []T) {
+	sched.CheckPushN(len(ps), len(vs))
+	c.pending.Inc(int64(len(ps)))
+	c.inner.PushN(ps, vs)
+}
+
 func (c *countingWorker[T]) Pop() (uint64, T, bool) { return c.inner.Pop() }
+
+func (c *countingWorker[T]) PopN(dst []Task[T]) int { return c.inner.PopN(dst) }
 
 // ---------------------------------------------------------------------------
 // Graphs

@@ -36,7 +36,8 @@ func main() {
 		if err := perfbench.Validate(r); err != nil {
 			fail(path, err)
 		}
-		fmt.Printf("%s: ok (schema %d, %d schedulers)\n", path, r.SchemaVersion, len(r.Results))
+		fmt.Printf("%s: ok (schema %d, %d bench results, %d serve runs)\n",
+			path, r.SchemaVersion, len(r.Results), len(r.Serve))
 	}
 }
 

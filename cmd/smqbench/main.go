@@ -11,6 +11,7 @@
 //	smqbench -exp all -format tsv > results.tsv
 //	smqbench -json BENCH_PR4.json
 //	smqbench -json - -benchworkers 2 -benchops 50000
+//	smqbench -json - -serve -benchschedulers smq,coarse
 //	smqbench -exp fig2 -cpuprofile fig2.prof -memprofile fig2.mprof
 //
 // The -json mode runs the contended uniform-priority microbenchmark of
@@ -56,6 +57,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/perfbench"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -70,6 +72,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text or tsv")
 
 		jsonOut   = flag.String("json", "", "write the perf-trajectory JSON report to this path ('-' for stdout) instead of running experiments")
+		serveMode = flag.Bool("serve", false, "-json: record the open-loop serving trajectory (internal/serve) instead of the microbenchmark; cmd/smqserve exposes the full parameter set")
 		benchWrk  = flag.Int("benchworkers", 0, "-json: worker goroutines (default GOMAXPROCS)")
 		benchOps  = flag.Int("benchops", 0, "-json: pop+push pairs per worker (default 200000)")
 		benchPre  = flag.Int("benchprefill", 0, "-json: prefilled tasks (default 4096)")
@@ -116,6 +119,12 @@ func main() {
 			if s = strings.TrimSpace(s); s != "" {
 				schedulers = append(schedulers, s)
 			}
+		}
+		if *serveMode {
+			if err := runServeJSON(*jsonOut, schedulers, *benchSeed); err != nil {
+				fatal(err)
+			}
+			return
 		}
 		if err := runJSON(*jsonOut, perfbench.Config{
 			Workers:      *benchWrk,
@@ -180,6 +189,36 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "done %s in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runServeJSON records the serving trajectory at internal/serve's
+// defaults — smqbench just offers the mode for symmetry with -json;
+// cmd/smqserve is the full-parameter driver.
+func runServeJSON(path string, schedulers []string, seed uint64) error {
+	fmt.Fprintln(os.Stderr, "running open-loop serving trajectory...")
+	start := time.Now()
+	report, err := serve.RunBench(serve.BenchConfig{
+		Schedulers:  schedulers,
+		Seed:        seed,
+		GeneratedBy: "smqbench -serve",
+	})
+	if err != nil {
+		return err
+	}
+	data, err := perfbench.Marshal(report)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "done %d schedulers in %v\n", len(report.Serve), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // runJSON runs the perf-trajectory microbenchmark, validates the report

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/contend"
 	"repro/internal/sched"
 )
 
@@ -44,12 +45,18 @@ func (r Result) WorkIncrease(baselineTasks uint64) float64 {
 	return float64(r.Tasks) / float64(baselineTasks)
 }
 
-// workerTally holds per-worker task counts, padded against false sharing.
-type workerTally struct {
+// tally is one worker's task counts. drive keeps them in a slice of
+// contend.Padded elements so adjacent workers' increments never share a
+// cache line; the padding is derived from contend.CacheLineSize instead
+// of a hand-coded byte count, which silently under-padded the moment
+// the counter block changed size (layout pinned in layout_test.go).
+type tally struct {
 	tasks  uint64
 	wasted uint64
-	_      [48]byte
 }
+
+// workerTally is the padded per-worker element type.
+type workerTally = contend.Padded[tally]
 
 // driveBatch is the driver's pop-batch capacity: how many tasks a
 // worker takes from the scheduler per PopN and how many expansions'
@@ -97,14 +104,23 @@ func (o *taskSink[T]) reset() {
 // every follow-on task the batch emitted into one PushN, and folds the
 // whole batch's Pending accounting into a single atomic add (+emitted
 // −processed, issued before the PushN so the counter can never dip to
-// zero while buffered work exists). It returns once pending reaches
-// zero; process performs the algorithm step, emits follow-on tasks
-// through the sink, and reports whether the popped task was stale.
+// zero while buffered work exists). process performs the algorithm
+// step, emits follow-on tasks through the sink, and reports whether the
+// popped task was stale.
+//
+// drive is the run-to-completion shape of the worker loop: the caller
+// registers every seed task before calling, so drive closes the pending
+// stream on entry and workers exit on Quiesced() — drained and closed.
+// The open-loop counterpart, where ingestion keeps the stream open and
+// workers park instead of exiting, is internal/serve.
 func drive[T any](
 	s sched.Scheduler[T],
 	pending *sched.Pending,
 	process func(wid int, out *taskSink[T], p uint64, v T) (stale bool),
 ) (tasks, wasted uint64, elapsed time.Duration) {
+	// All external tasks (the seeds) are registered; from here on only
+	// workers create tasks, as follow-ons. Quiesced() is now stable.
+	pending.Close()
 	n := s.Workers()
 	tallies := make([]workerTally, n)
 	start := time.Now()
@@ -114,14 +130,14 @@ func drive[T any](
 		go func(wid int) {
 			defer wg.Done()
 			w := s.Worker(wid)
-			tally := &tallies[wid]
+			tally := &tallies[wid].Value
 			popBuf := make([]sched.Task[T], driveBatch)
 			var out taskSink[T]
 			var b sched.Backoff
 			for {
 				k := w.PopN(popBuf)
 				if k == 0 {
-					if pending.Done() {
+					if pending.Quiesced() {
 						return
 					}
 					b.Wait()
@@ -148,8 +164,8 @@ func drive[T any](
 	wg.Wait()
 	elapsed = time.Since(start)
 	for i := range tallies {
-		tasks += tallies[i].tasks
-		wasted += tallies[i].wasted
+		tasks += tallies[i].Value.tasks
+		wasted += tallies[i].Value.wasted
 	}
 	return tasks, wasted, elapsed
 }

@@ -1,0 +1,26 @@
+package algos
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/contend"
+)
+
+// TestWorkerTallyPadding pins the padded tally layout: tallies live in
+// a contiguous slice, and the drive loop increments them on every popped
+// batch, so adjacent workers' counters must never cohabit a cache line.
+// The pad is derived from contend.Padded rather than hand-coded bytes —
+// this test guards the derivation, not a magic number: growing the
+// counter block can never silently shrink the separation again.
+func TestWorkerTallyPadding(t *testing.T) {
+	if got, want := unsafe.Sizeof(workerTally{}), unsafe.Sizeof(tally{})+contend.CacheLineSize; got != want {
+		t.Fatalf("workerTally size %d, want counters+pad = %d", got, want)
+	}
+	ts := make([]workerTally, 2)
+	a := uintptr(unsafe.Pointer(&ts[0].Value.tasks))
+	b := uintptr(unsafe.Pointer(&ts[1].Value.tasks))
+	if b-a < contend.CacheLineSize {
+		t.Fatalf("adjacent tallies' hot fields only %d bytes apart, want >= %d", b-a, contend.CacheLineSize)
+	}
+}

@@ -68,6 +68,7 @@ func Registry() []Experiment {
 		{ID: "klsm", Paper: "Wimmer et al. 2015 (k-LSM baseline)", Desc: "k-LSM relaxation ablation (local-LSM bound k sweep)", Run: runKLSM},
 		{ID: "geom", Paper: "Rihani et al. 2014 (scenario extension)", Desc: "k-NN graph + Euclidean MST over point sets, schedulers × distributions", Run: runGeom},
 		{ID: "numa", Paper: "Tables 16-27", Desc: "NUMA weight K sweep for MQ and SMQ variants", Run: runNUMA},
+		{ID: "serve", Paper: "extension (open-loop serving)", Desc: "offered-load × scheduler grid through the streaming service front-end", Run: runServe},
 		{ID: "theory", Paper: "Theorem 1 (§3)", Desc: "rank bounds of the SMQ process vs the (1+β) coupling", Run: runTheory},
 		{ID: "rankprobe", Paper: "§5 (wasted-work mechanism)", Desc: "empirical rank relaxation of every scheduler implementation", Run: runRankProbe},
 	}

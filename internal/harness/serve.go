@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// runServe is the open-loop serving experiment: an offered-load ×
+// scheduler grid through internal/serve, reporting delivered
+// throughput, tail sojourn latency, backpressure and elastic-pool
+// activity. It extends the paper's closed-loop run-to-completion
+// evaluation with the serving shape the schedulers would face in a
+// task-queue deployment: the queue drains between bursts, so the run
+// exercises the quiescence termination protocol and worker parking
+// rather than raw drain throughput.
+func runServe(cfg RunConfig) ([]Table, error) {
+	cfg.normalize()
+	schedulers := []string{"coarse", "mq", "emq", "smq", "klsm"}
+	rates := []float64{25000, 100000, 400000}
+	workers := cfg.MaxThreads + 1 // +1: the ingest worker rides along
+	if workers < 2 {
+		workers = 2
+	}
+	tasksPerRate := 20000 * cfg.Scale
+
+	t := Table{
+		Title: fmt.Sprintf("Open-loop serving — offered load × scheduler (%d workers incl. ingest, 4 tenants, Zipf 0.99, PolicyStall)",
+			workers),
+		Header: []string{"Scheduler", "Offered/s", "Served/s", "Completed", "Stalls", "Parks",
+			"MeanActive", "t0 p50", "t0 p99", "t0 p99.9"},
+	}
+	for _, name := range schedulers {
+		for _, rate := range rates {
+			rep, err := serve.RunBench(serve.BenchConfig{
+				Schedulers:  []string{name},
+				Rate:        rate,
+				Tasks:       tasksPerRate,
+				Tenants:     4,
+				Skew:        0.99,
+				Workers:     workers,
+				Seed:        1,
+				GeneratedBy: "harness serve",
+			})
+			if err != nil {
+				return nil, err
+			}
+			sr := rep.Serve[0]
+			t0 := sr.PerTenant[0]
+			t.AddRow(name, fmt.Sprintf("%.0f", rate),
+				fmt.Sprintf("%.0f", sr.ThroughputTasksPerSec),
+				fmt.Sprint(sr.Completed), fmt.Sprint(sr.Stalls), fmt.Sprint(sr.Parks),
+				fm(sr.MeanActiveWorkers),
+				durCell(t0.P50Ns), durCell(t0.P99Ns), durCell(t0.P999Ns))
+		}
+	}
+	return []Table{t}, nil
+}
+
+func durCell(ns float64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

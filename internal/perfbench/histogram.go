@@ -2,7 +2,7 @@ package perfbench
 
 import "math/bits"
 
-// latencyHist is a log-bucketed latency histogram: values are binned by
+// Histogram is a log-bucketed latency histogram: values are binned by
 // their power-of-two magnitude, linearly subdivided into histSubBuckets
 // per octave (the HdrHistogram layout with 4 significant bits). Across
 // the nanosecond range a pop latency can plausibly occupy (1ns..~17s)
@@ -10,9 +10,13 @@ import "math/bits"
 // which is far below run-to-run noise, while recording stays two shifts
 // and an increment — cheap enough to sit inside a timed pop loop.
 //
+// It backs the pop-latency percentiles of this package's microbenchmark
+// and the per-tenant service-latency percentiles of internal/serve —
+// any consumer needing cheap in-loop percentile recording can use it.
+//
 // The zero value is ready to use. It is not safe for concurrent use;
 // workers record into private histograms that are Merge'd afterwards.
-type latencyHist struct {
+type Histogram struct {
 	buckets [histBuckets]uint64
 	count   uint64
 }
@@ -50,14 +54,17 @@ func bucketLow(i int) uint64 {
 	return 1<<top | sub<<(top-histSubBits)
 }
 
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
 // Record adds one observation.
-func (h *latencyHist) Record(v uint64) {
+func (h *Histogram) Record(v uint64) {
 	h.buckets[bucketIndex(v)]++
 	h.count++
 }
 
 // Merge accumulates other into h.
-func (h *latencyHist) Merge(other *latencyHist) {
+func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.buckets {
 		h.buckets[i] += c
 	}
@@ -66,7 +73,7 @@ func (h *latencyHist) Merge(other *latencyHist) {
 
 // Quantile returns the value at quantile q in [0,1] (lower bucket
 // bound), or 0 when the histogram is empty.
-func (h *latencyHist) Quantile(q float64) uint64 {
+func (h *Histogram) Quantile(q float64) uint64 {
 	if h.count == 0 {
 		return 0
 	}

@@ -39,7 +39,7 @@ func TestBucketIndexMonotoneAndInvertible(t *testing.T) {
 func TestQuantileApproximatesExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	const n = 200000
-	var h latencyHist
+	var h Histogram
 	samples := make([]uint64, n)
 	for i := range samples {
 		// Log-uniform over ~3 decades, like real pop latencies.
@@ -59,7 +59,7 @@ func TestQuantileApproximatesExact(t *testing.T) {
 }
 
 func TestQuantileEdgeCases(t *testing.T) {
-	var h latencyHist
+	var h Histogram
 	if got := h.Quantile(0.5); got != 0 {
 		t.Fatalf("empty histogram Quantile = %d, want 0", got)
 	}
@@ -69,7 +69,7 @@ func TestQuantileEdgeCases(t *testing.T) {
 			t.Fatalf("single-sample Quantile(%v) = %d, want 7", q, got)
 		}
 	}
-	var a, b latencyHist
+	var a, b Histogram
 	a.Record(10)
 	b.Record(1000)
 	a.Merge(&b)

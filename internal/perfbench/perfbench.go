@@ -40,10 +40,16 @@ import (
 //	1 — scalar throughput / contention / allocation metrics.
 //	2 — adds the batched (PushN/PopN) throughput mode and pop-latency
 //	    percentiles (p50/p99/p99.9 from a log-bucketed histogram).
+//	3 — adds the open-loop serving trajectory (the "serve" section:
+//	    per-scheduler runs of internal/serve with per-tenant latency
+//	    percentiles, admission/shedding accounting, elastic-pool
+//	    activity and idle-service CPU). A version-3 report may carry
+//	    the microbenchmark results, the serve section, or both.
 //
-// Validate is version-gated: committed version-1 trajectory files
-// (BENCH_PR4.json and earlier) remain valid without the new fields.
-const SchemaVersion = 2
+// Validate is version-gated: committed version-1 and version-2
+// trajectory files (BENCH_PR5.json and earlier) remain valid without
+// the newer fields.
+const SchemaVersion = 3
 
 // Report is the top-level JSON document.
 type Report struct {
@@ -63,7 +69,70 @@ type Report struct {
 	// behind the latency percentiles (schema >= 2).
 	LatencyOps int `json:"latency_ops,omitempty"`
 
-	Results []Result `json:"results"`
+	Results []Result `json:"results,omitempty"`
+
+	// Serve is the open-loop serving trajectory (schema >= 3): one
+	// entry per scheduler run through internal/serve's fixed-rate load
+	// generator. May be empty for microbenchmark-only reports; a
+	// version-3 report must carry at least one of Results / Serve.
+	Serve []ServeResult `json:"serve,omitempty"`
+}
+
+// ServeResult is one scheduler's open-loop serving run (schema >= 3):
+// a fixed offered rate of Zipf-skewed tenant traffic with
+// bounded-Pareto service costs pushed through internal/serve's
+// admission control and elastic worker pool.
+type ServeResult struct {
+	Scheduler string `json:"scheduler"`
+	// OfferedRatePerSec is the load generator's target arrival rate.
+	OfferedRatePerSec float64 `json:"offered_rate_per_sec"`
+	// Workers is the scheduler's worker-slot count (ingest worker
+	// included); MinWorkers is the elastic pool's floor.
+	Workers    int `json:"workers"`
+	MinWorkers int `json:"min_workers"`
+	// Tenants and TenantSkew describe the Zipf tenant mix.
+	Tenants    int     `json:"tenants"`
+	TenantSkew float64 `json:"tenant_skew"`
+	// Ingested = Completed + Shed is the zero-lost-tasks ledger:
+	// Validate rejects any run where it does not balance.
+	Ingested  uint64 `json:"ingested"`
+	Completed uint64 `json:"completed"`
+	Shed      uint64 `json:"shed"`
+	// DurationNs covers first arrival to quiescence.
+	DurationNs            int64   `json:"duration_ns"`
+	ThroughputTasksPerSec float64 `json:"throughput_tasks_per_sec"`
+	// Stalls / StallNs account backpressure: how often and for how
+	// long ingestion was paused at the admission high watermark.
+	Stalls  uint64 `json:"stalls"`
+	StallNs int64  `json:"stall_ns"`
+	// Parks / Unparks / MeanActiveWorkers describe the elastic pool's
+	// activity over the run.
+	Parks             uint64  `json:"parks"`
+	Unparks           uint64  `json:"unparks"`
+	MeanActiveWorkers float64 `json:"mean_active_workers"`
+	// IdleCPUFrac is the process CPU fraction (CPU-seconds per
+	// wall-second) measured over an idle window with the service up
+	// and zero offered load (before the load generator starts) — the
+	// busy-spin regression
+	// metric: the pre-fix Backoff burned ~1.0 per spinning worker.
+	// Negative means the platform could not measure it.
+	IdleCPUFrac float64 `json:"idle_cpu_frac"`
+	// PerTenant is the per-tenant latency/shedding breakdown, indexed
+	// by tenant id (tenant 0 = highest priority class).
+	PerTenant []TenantServeResult `json:"per_tenant"`
+}
+
+// TenantServeResult is one tenant's slice of a serving run. Latency is
+// scheduled-arrival to completion (sojourn: admission + queueing +
+// service), from the same log-bucketed histogram as the pop-latency
+// percentiles, so coordinated omission cannot hide backpressure stalls.
+type TenantServeResult struct {
+	Tenant    int     `json:"tenant"`
+	Completed uint64  `json:"completed"`
+	Shed      uint64  `json:"shed"`
+	P50Ns     float64 `json:"latency_p50_ns"`
+	P99Ns     float64 `json:"latency_p99_ns"`
+	P999Ns    float64 `json:"latency_p999_ns"`
 }
 
 // Result is one scheduler's measurement.
@@ -426,7 +495,7 @@ func runLatency(name string, cfg Config) (p50, p99, p999 float64, err error) {
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	hists := make([]latencyHist, cfg.Workers)
+	hists := make([]Histogram, cfg.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -456,7 +525,7 @@ func runLatency(name string, cfg Config) (p50, p99, p999 float64, err error) {
 		}(w)
 	}
 	wg.Wait()
-	var merged latencyHist
+	var merged Histogram
 	for i := range hists {
 		merged.Merge(&hists[i])
 	}
@@ -472,20 +541,28 @@ func Validate(r *Report) error {
 	if r == nil {
 		return fmt.Errorf("perfbench: nil report")
 	}
-	// Version-gated: committed version-1 trajectory files (no batched
-	// mode, no latency percentiles) remain valid; anything else must be
-	// the current schema.
-	if r.SchemaVersion != 1 && r.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("perfbench: schema_version = %d, want 1 or %d", r.SchemaVersion, SchemaVersion)
+	// Version-gated: committed version-1 and version-2 trajectory files
+	// remain valid without the later fields; anything else must be the
+	// current schema.
+	if r.SchemaVersion != 1 && r.SchemaVersion != 2 && r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("perfbench: schema_version = %d, want 1, 2 or %d", r.SchemaVersion, SchemaVersion)
 	}
 	if r.GoVersion == "" || r.GeneratedBy == "" {
 		return fmt.Errorf("perfbench: missing go_version / generated_by")
 	}
-	if r.Workers <= 0 || r.Prefill <= 0 || r.OpsPerWorker <= 0 {
-		return fmt.Errorf("perfbench: non-positive run parameters: %+v", r)
+	if len(r.Serve) > 0 && r.SchemaVersion < 3 {
+		return fmt.Errorf("perfbench: serve section requires schema >= 3, got %d", r.SchemaVersion)
 	}
-	if len(r.Results) == 0 {
+	if len(r.Results) == 0 && len(r.Serve) == 0 {
 		return fmt.Errorf("perfbench: no results")
+	}
+	if len(r.Results) > 0 {
+		if r.Workers <= 0 || r.Prefill <= 0 || r.OpsPerWorker <= 0 {
+			return fmt.Errorf("perfbench: non-positive run parameters: %+v", r)
+		}
+		if r.SchemaVersion >= 2 && r.BatchSize <= 0 {
+			return fmt.Errorf("perfbench: schema >= 2 report without batch_size")
+		}
 	}
 	seen := make(map[string]bool, len(r.Results))
 	for _, res := range r.Results {
@@ -515,8 +592,83 @@ func Validate(r *Report) error {
 			}
 		}
 	}
-	if r.SchemaVersion >= 2 && r.BatchSize <= 0 {
-		return fmt.Errorf("perfbench: schema 2 report without batch_size")
+	seenServe := make(map[string]bool, len(r.Serve))
+	for _, sr := range r.Serve {
+		if err := validateServe(&sr); err != nil {
+			return err
+		}
+		if seenServe[sr.Scheduler] {
+			return fmt.Errorf("perfbench: duplicate serve scheduler %q", sr.Scheduler)
+		}
+		seenServe[sr.Scheduler] = true
+	}
+	return nil
+}
+
+// validateServe checks one serving run's internal consistency — most
+// importantly the zero-lost-tasks ledger (ingested = completed + shed):
+// a committed trajectory artifact is thereby a machine-checked claim
+// that the service dropped nothing it admitted.
+func validateServe(sr *ServeResult) error {
+	if sr.Scheduler == "" {
+		return fmt.Errorf("perfbench: serve result with empty scheduler name")
+	}
+	if sr.OfferedRatePerSec <= 0 {
+		return fmt.Errorf("perfbench: serve %s: non-positive offered rate", sr.Scheduler)
+	}
+	if sr.Workers < 2 {
+		return fmt.Errorf("perfbench: serve %s: workers = %d, want >= 2 (ingest worker + pool)", sr.Scheduler, sr.Workers)
+	}
+	if sr.MinWorkers < 1 || sr.MinWorkers > sr.Workers-1 {
+		return fmt.Errorf("perfbench: serve %s: min_workers = %d outside [1, %d]", sr.Scheduler, sr.MinWorkers, sr.Workers-1)
+	}
+	if sr.Tenants < 1 {
+		return fmt.Errorf("perfbench: serve %s: tenants = %d", sr.Scheduler, sr.Tenants)
+	}
+	if sr.TenantSkew < 0 {
+		return fmt.Errorf("perfbench: serve %s: negative tenant skew", sr.Scheduler)
+	}
+	if sr.Ingested != sr.Completed+sr.Shed {
+		return fmt.Errorf("perfbench: serve %s: LOST TASKS: ingested %d != completed %d + shed %d",
+			sr.Scheduler, sr.Ingested, sr.Completed, sr.Shed)
+	}
+	if sr.Ingested == 0 {
+		return fmt.Errorf("perfbench: serve %s: empty run", sr.Scheduler)
+	}
+	if sr.DurationNs <= 0 || (sr.Completed > 0 && sr.ThroughputTasksPerSec <= 0) {
+		return fmt.Errorf("perfbench: serve %s: non-positive duration/throughput", sr.Scheduler)
+	}
+	if sr.StallNs < 0 {
+		return fmt.Errorf("perfbench: serve %s: negative stall time", sr.Scheduler)
+	}
+	if sr.MeanActiveWorkers < 0 || sr.MeanActiveWorkers > float64(sr.Workers) {
+		return fmt.Errorf("perfbench: serve %s: mean_active_workers = %g outside [0, %d]",
+			sr.Scheduler, sr.MeanActiveWorkers, sr.Workers)
+	}
+	if len(sr.PerTenant) != sr.Tenants {
+		return fmt.Errorf("perfbench: serve %s: %d per-tenant entries for %d tenants",
+			sr.Scheduler, len(sr.PerTenant), sr.Tenants)
+	}
+	var sumCompleted, sumShed uint64
+	for i, ten := range sr.PerTenant {
+		if ten.Tenant != i {
+			return fmt.Errorf("perfbench: serve %s: per_tenant[%d] has tenant id %d", sr.Scheduler, i, ten.Tenant)
+		}
+		sumCompleted += ten.Completed
+		sumShed += ten.Shed
+		if ten.Completed > 0 {
+			if ten.P50Ns <= 0 || ten.P99Ns <= 0 || ten.P999Ns <= 0 {
+				return fmt.Errorf("perfbench: serve %s: tenant %d: missing latency percentiles", sr.Scheduler, i)
+			}
+			if ten.P50Ns > ten.P99Ns || ten.P99Ns > ten.P999Ns {
+				return fmt.Errorf("perfbench: serve %s: tenant %d: non-monotone latency percentiles (p50=%g p99=%g p99.9=%g)",
+					sr.Scheduler, i, ten.P50Ns, ten.P99Ns, ten.P999Ns)
+			}
+		}
+	}
+	if sumCompleted != sr.Completed || sumShed != sr.Shed {
+		return fmt.Errorf("perfbench: serve %s: per-tenant totals (%d completed, %d shed) do not sum to run totals (%d, %d)",
+			sr.Scheduler, sumCompleted, sumShed, sr.Completed, sr.Shed)
 	}
 	return nil
 }

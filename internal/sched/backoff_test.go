@@ -1,0 +1,95 @@
+package sched_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// TestBackoffSleepTierCapsIterationRate proves the idle-CPU fix: a
+// worker stuck in Wait must end up sleeping, so a fixed wall-clock
+// window admits only a bounded number of backoff steps. The old
+// busy-spin/Gosched loop ran millions of iterations in the same window
+// (100% of a core); the sleep tier caps it near window/1ms plus the
+// spin and yield tiers.
+func TestBackoffSleepTierCapsIterationRate(t *testing.T) {
+	var b sched.Backoff
+	const window = 100 * time.Millisecond
+	deadline := time.Now().Add(window)
+	iters := 0
+	for time.Now().Before(deadline) {
+		b.Wait()
+		iters++
+	}
+	// 24 pre-sleep steps + sleep steps at >= 20µs each: the absolute
+	// ceiling is ~24 + 100ms/20µs = ~5000, and after the ramp reaches
+	// the 1ms cap the steady rate is ~100. Anything remotely spin-like
+	// is millions. Assert a comfortable middle bound.
+	if iters > 20000 {
+		t.Fatalf("Backoff ran %d steps in %v: not sleeping (busy-spin regression)", iters, window)
+	}
+	if !b.Sleeping() {
+		t.Fatalf("Backoff not in sleep tier after %d sustained steps", iters)
+	}
+}
+
+// TestBackoffResetReturnsToSpinTier checks that a successful pop resets
+// the escalation: the first Wait after Reset must be a cheap busy pause,
+// not a sleep — otherwise every burst would pay a wake-up tax per task.
+func TestBackoffResetReturnsToSpinTier(t *testing.T) {
+	var b sched.Backoff
+	for i := 0; i < 100; i++ {
+		b.Wait()
+	}
+	if !b.Sleeping() {
+		t.Fatal("expected sleep tier after 100 steps")
+	}
+	b.Reset()
+	if b.Sleeping() {
+		t.Fatal("Reset did not clear the sleep tier")
+	}
+	start := time.Now()
+	b.Wait()
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Fatalf("first Wait after Reset took %v: should be a busy pause, not a sleep", d)
+	}
+}
+
+// TestPendingQuiescenceVsEmptiness pins the split contract: Done is
+// emptiness (momentarily idle), Quiesced is drained-and-closed.
+func TestPendingQuiescenceVsEmptiness(t *testing.T) {
+	var p sched.Pending
+	if !p.Done() {
+		t.Fatal("zero Pending should report Done (empty)")
+	}
+	if p.Quiesced() {
+		t.Fatal("unclosed Pending must never report Quiesced, even when empty")
+	}
+	p.Inc(2)
+	if p.Done() || p.Quiesced() {
+		t.Fatal("in-flight tasks: neither Done nor Quiesced")
+	}
+	p.Close()
+	if !p.Closed() {
+		t.Fatal("Closed not visible after Close")
+	}
+	if p.Quiesced() {
+		t.Fatal("closed but undrained Pending must not report Quiesced")
+	}
+	p.Dec()
+	p.Dec()
+	if !p.Done() || !p.Quiesced() {
+		t.Fatal("closed and drained: both Done and Quiesced must hold")
+	}
+	// Workers may still register follow-on tasks after Close (Inc
+	// before the parent's Dec keeps the count positive in real runs).
+	p.Inc(1)
+	if p.Quiesced() {
+		t.Fatal("follow-on task after Close must suppress Quiesced")
+	}
+	p.Dec()
+	if !p.Quiesced() {
+		t.Fatal("drained again: Quiesced must hold")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/contend"
 	"repro/internal/pq"
@@ -168,8 +169,32 @@ func SumCounters(cs []Counters) Stats {
 // increment before pushing a task and decrement after fully processing a
 // popped task (including its follow-on pushes). The schedulers themselves
 // never touch it. When Pending reaches zero no task exists anywhere — not
-// in a queue, not in a local buffer, not being executed — so workers may
-// exit.
+// in a queue, not in a local buffer, not being executed.
+//
+// # Emptiness vs quiescence
+//
+// A zero count alone means only EMPTINESS: no task exists RIGHT NOW.
+// Whether that is also the end of the run depends on who can still
+// create tasks. Pending therefore distinguishes two conditions:
+//
+//   - Done() — momentarily idle. Correct as a termination signal only
+//     for run-to-completion workloads, where every task descends from
+//     seeds registered before workers start: once the count hits zero
+//     no source of new work remains. The graph drivers in
+//     internal/algos are this shape.
+//   - Quiesced() — drained AND closed. An open-loop service ingests
+//     tasks from outside the worker set, so the count legitimately
+//     hits zero between arrival bursts; a worker that exits on Done()
+//     there abandons the stream early. The ingestion side must call
+//     Close() after registering (Inc'ing) its final task, and workers
+//     exit only on Quiesced(). internal/serve is this shape.
+//
+// Close() is a promise about future Incs from OUTSIDE the worker set:
+// after Close, only workers may register new tasks, and only as
+// follow-ons of tasks they are currently processing (the Inc of a
+// follow-on precedes the parent's Dec, so the count cannot touch zero
+// while such work exists). Under that protocol Quiesced() is stable:
+// once it reports true no task exists and none can ever be created.
 //
 // # Delta batching
 //
@@ -185,7 +210,8 @@ func SumCounters(cs []Counters) Stats {
 // zero while work exists, at the cost of transiently over-counting,
 // which merely makes idle workers re-poll.
 type Pending struct {
-	n atomic.Int64
+	n      atomic.Int64
+	closed atomic.Bool
 }
 
 // Inc registers delta new in-flight tasks.
@@ -197,27 +223,80 @@ func (p *Pending) Dec() { p.n.Add(-1) }
 // Load returns the current in-flight count.
 func (p *Pending) Load() int64 { return p.n.Load() }
 
-// Done reports whether no tasks remain anywhere.
+// Done reports emptiness: no task exists right now. This is NOT a
+// termination signal for streaming workloads — see the type docs.
 func (p *Pending) Done() bool { return p.n.Load() == 0 }
 
-// Backoff is a bounded exponential spin/yield backoff used by worker
-// loops when Pop fails but Pending is nonzero. The zero value is ready.
+// Close records that no further tasks will be registered from outside
+// the worker set. It must be called after the Inc of the final external
+// task (run-to-completion drivers close immediately after seeding).
+// Closing is idempotent.
+func (p *Pending) Close() { p.closed.Store(true) }
+
+// Closed reports whether the external task stream has been closed.
+func (p *Pending) Closed() bool { return p.closed.Load() }
+
+// Quiesced reports termination for streaming workloads: the external
+// stream is closed and no task remains anywhere. The closed flag is
+// read first, so a true result cannot race with a late external Inc
+// (Close happens after the final external Inc by contract).
+func (p *Pending) Quiesced() bool { return p.closed.Load() && p.n.Load() == 0 }
+
+// Backoff tier boundaries. The first few failed polls busy-pause
+// (another worker is likely mid-push), the next tier yields the
+// processor, and sustained idleness graduates to bounded sleeps so an
+// idle worker costs ~0 CPU instead of burning a core. The sleep cap
+// bounds the wake-up latency a sleeping worker adds when work arrives.
+const (
+	backoffSpinTier  = 6  // steps 1..6: busy pause, 2^step loads
+	backoffYieldTier = 24 // steps 7..24: runtime.Gosched
+	backoffSleepMin  = 20 * time.Microsecond
+	backoffSleepMax  = time.Millisecond
+)
+
+// Backoff is a three-tier spin/yield/sleep backoff used by worker loops
+// when Pop fails but Pending is nonzero. The zero value is ready.
+//
+// Earlier revisions spun on an empty `for { _ = i }` body — which the
+// compiler is entitled to eliminate, making the spin tier back off by
+// nothing — and degenerated to a bare Gosched loop past 8 steps,
+// pinning a core at 100% whenever queues stayed empty (fatal for a
+// long-running service between arrival bursts). The spin tier now
+// issues atomic loads the compiler must keep, and sustained idleness
+// sleeps with exponentially growing, bounded durations.
 type Backoff struct {
 	spins int
+	// pause is the spin tier's load target: atomic loads of an own
+	// field are real memory operations the compiler will not dead-code
+	// eliminate, and the field sits in backoff-owner memory so the
+	// spin touches no shared cache line.
+	pause atomic.Uint64
 }
 
 // Wait performs one backoff step.
 func (b *Backoff) Wait() {
 	b.spins++
-	if b.spins < 8 {
-		// A few busy spins: another worker is likely mid-push.
+	switch {
+	case b.spins <= backoffSpinTier:
 		for i := 0; i < 1<<b.spins; i++ {
-			_ = i
+			_ = b.pause.Load()
 		}
-		return
+	case b.spins <= backoffYieldTier:
+		runtime.Gosched()
+	default:
+		shift := b.spins - backoffYieldTier - 1
+		d := backoffSleepMax
+		if shift < 6 { // 20µs << 6 exceeds the 1ms cap
+			d = min(backoffSleepMin<<shift, backoffSleepMax)
+		}
+		time.Sleep(d)
 	}
-	runtime.Gosched()
 }
+
+// Sleeping reports whether the backoff has escalated to the sleep tier
+// — the signal elastic worker pools use to consider parking a slot
+// entirely instead of paying the wake-up latency tax per task burst.
+func (b *Backoff) Sleeping() bool { return b.spins > backoffYieldTier }
 
 // Reset clears the backoff after a successful Pop.
 func (b *Backoff) Reset() { b.spins = 0 }

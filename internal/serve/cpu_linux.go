@@ -1,0 +1,18 @@
+//go:build linux
+
+package serve
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process's cumulative user+system CPU time.
+// ok=false means the platform could not measure it.
+func processCPU() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return time.Duration(ru.Utime.Nano()+ru.Stime.Nano()) * time.Nanosecond, true
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package serve
+
+import "time"
+
+// processCPU reports that CPU accounting is unavailable here; idle-CPU
+// fractions come out negative ("unmeasurable") instead of wrong.
+func processCPU() (time.Duration, bool) { return 0, false }

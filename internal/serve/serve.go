@@ -1,0 +1,574 @@
+// Package serve is the open-loop serving front-end over the scheduler
+// zoo: a long-running priority-task service that ingests a stream of
+// requests from outside the worker set, applies admission control at a
+// pending-task watermark, and executes tasks on an elastic worker pool
+// that parks idle worker slots instead of spinning.
+//
+// The package exists because the repository's other drivers
+// (internal/algos, internal/perfbench) are run-to-completion: all work
+// descends from seeds registered before workers start, so a worker may
+// exit the moment the in-flight counter touches zero. A service is the
+// opposite shape — the queue legitimately drains to empty between
+// arrival bursts — which forces three structural changes:
+//
+//   - Termination switches from emptiness (sched.Pending.Done) to
+//     quiescence (Close + Quiesced): workers exit only once the ingest
+//     stream is closed AND the count is zero. See the Pending docs.
+//   - Ingestion must flow through a worker handle. Scheduler handles
+//     are single-goroutine, and several schedulers bury pushed tasks in
+//     handle-local structures (the k-LSM's local LSM, the SMQ's local
+//     heap, the engineered MultiQueue's insertion buffer) that only the
+//     owning worker can drain. A push-only ingester goroutine would
+//     therefore strand its own tail of tasks. Worker 0 is instead a
+//     hybrid: it alternates channel drains with PopN/process rounds, so
+//     whatever its pushes leave in worker-0-local state it processes
+//     itself, and it never blocks on the channel.
+//   - Idle workers must cost ~0 CPU. The pool parks surplus workers on
+//     per-worker wake channels once their backoff reaches the sleep
+//     tier, and the ingester unparks them as pending work grows.
+//
+// A worker only offers to park after its own PopN returned zero, which
+// for every scheduler in the zoo implies its handle-local structures
+// are empty — so a parked worker can never hold buried tasks, and the
+// zero-lost-tasks ledger (ingested = completed + shed) holds at
+// shutdown.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/perfbench"
+	"repro/internal/sched"
+)
+
+// Request is one unit of offered load. Priorities are the scheduled
+// arrival time, so the service drains in (relaxed) arrival order.
+type Request struct {
+	// Tenant is the traffic class in [0, Config.Tenants).
+	Tenant int
+	// Cost is the synthetic service cost in calibrated spin units
+	// (roughly nanoseconds; see spinWork).
+	Cost uint32
+	// Enq is the scheduled arrival time in nanoseconds since the
+	// Service epoch. Latency is measured from Enq, not from the moment
+	// the request crossed the channel, so generator lag and admission
+	// stalls count against the service (no coordinated omission).
+	Enq int64
+}
+
+// Policy selects what admission control does above the high watermark.
+type Policy int
+
+const (
+	// PolicyStall pauses ingestion (backpressure up the channel) and
+	// lets the ingest worker help drain until the low watermark.
+	PolicyStall Policy = iota
+	// PolicyShed drops incoming requests (counted per tenant) until
+	// pending falls below the low watermark.
+	PolicyShed
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers is the scheduler's total worker-slot count, including
+	// worker 0, the hybrid ingest worker. Must be >= 2 and must equal
+	// the scheduler's Workers().
+	Workers int
+	// MinWorkers is the elastic pool's floor: pool workers beyond this
+	// many may park. Range [1, Workers-1]; 0 means 1.
+	MinWorkers int
+	// Tenants is the number of traffic classes. 0 means 1.
+	Tenants int
+	// HighWater / LowWater are the admission watermarks on the pending
+	// in-flight count, with hysteresis: the policy engages above
+	// HighWater and disengages below LowWater. 0 means 1<<16 and
+	// HighWater/2 respectively.
+	HighWater int64
+	LowWater  int64
+	// Policy is the above-watermark behaviour (default PolicyStall).
+	Policy Policy
+	// TasksPerWorker is the pool scale-up target: the ingester keeps
+	// roughly one unparked pool worker per this many pending tasks.
+	// 0 means 256.
+	TasksPerWorker int64
+	// InBuffer is the ingest channel capacity. 0 means 4096.
+	InBuffer int
+}
+
+func (c *Config) normalize() error {
+	if c.Workers < 2 {
+		return fmt.Errorf("serve: Workers = %d, need >= 2 (ingest worker + at least one pool worker)", c.Workers)
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 1
+	}
+	if c.Tenants < 1 {
+		return fmt.Errorf("serve: Tenants = %d", c.Tenants)
+	}
+	if c.MinWorkers == 0 {
+		c.MinWorkers = 1
+	}
+	if c.MinWorkers < 1 || c.MinWorkers > c.Workers-1 {
+		return fmt.Errorf("serve: MinWorkers = %d outside [1, %d]", c.MinWorkers, c.Workers-1)
+	}
+	if c.HighWater == 0 {
+		c.HighWater = 1 << 16
+	}
+	if c.LowWater == 0 {
+		c.LowWater = c.HighWater / 2
+	}
+	if c.LowWater < 0 || c.LowWater > c.HighWater {
+		return fmt.Errorf("serve: LowWater %d outside [0, HighWater=%d]", c.LowWater, c.HighWater)
+	}
+	if c.TasksPerWorker == 0 {
+		c.TasksPerWorker = 256
+	}
+	if c.InBuffer == 0 {
+		c.InBuffer = 4096
+	}
+	return nil
+}
+
+// serveBatch is the PopN batch size of the serving workers, and
+// ingestBatch the channel-drain batch the ingester folds into one
+// PushN. Both amortize per-operation scheduler costs; the ingest batch
+// additionally folds the Pending accounting into one atomic add.
+const (
+	serveBatch  = 8
+	ingestBatch = 64
+)
+
+// TenantStats is one tenant's slice of a run.
+type TenantStats struct {
+	Completed uint64
+	Shed      uint64
+	// Latency is the sojourn-time histogram (scheduled arrival to
+	// completion, nanoseconds).
+	Latency perfbench.Histogram
+}
+
+// Stats is a completed run's accounting. Ingested = Completed + Shed
+// is the zero-lost-tasks ledger: every request taken off the channel
+// was either executed or deliberately shed, none lost.
+type Stats struct {
+	Ingested  uint64
+	Completed uint64
+	Shed      uint64
+	// Stalls / StallDur account PolicyStall backpressure episodes.
+	Stalls   uint64
+	StallDur time.Duration
+	// Parks / Unparks / MeanActiveWorkers describe the elastic pool
+	// (MeanActiveWorkers includes the always-active ingest worker).
+	Parks             uint64
+	Unparks           uint64
+	MeanActiveWorkers float64
+	// Duration is Start to quiescence.
+	Duration  time.Duration
+	PerTenant []TenantStats
+	Sched     sched.Stats
+}
+
+// workerLocal is one worker's private accounting; merged after
+// quiescence. The slices are per-tenant and separately allocated per
+// worker, so workers never write into shared backing arrays.
+type workerLocal struct {
+	completed []uint64
+	hist      []perfbench.Histogram
+}
+
+// ingestStats is owned by the ingest worker; read after quiescence.
+type ingestStats struct {
+	ingested     uint64
+	shed         uint64
+	shedByTenant []uint64
+	stalls       uint64
+	stallNs      int64
+}
+
+// Service is an open-loop priority-task service over one scheduler.
+// Create with New, feed via In, close In when the stream ends, then
+// Wait for quiescence and the run's Stats.
+type Service struct {
+	cfg     Config
+	s       sched.Scheduler[Request]
+	in      chan Request
+	epoch   time.Time
+	pending sched.Pending
+	pool    pool
+	locals  []workerLocal
+	ing     ingestStats
+	wg      sync.WaitGroup
+	started bool
+}
+
+// New builds a Service over s. The scheduler must have been created
+// with cfg.Workers worker slots, all of which the Service claims.
+func New(s sched.Scheduler[Request], cfg Config) (*Service, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if s.Workers() != cfg.Workers {
+		return nil, fmt.Errorf("serve: scheduler has %d worker slots, config says %d", s.Workers(), cfg.Workers)
+	}
+	sv := &Service{
+		cfg:    cfg,
+		s:      s,
+		in:     make(chan Request, cfg.InBuffer),
+		locals: make([]workerLocal, cfg.Workers),
+	}
+	for i := range sv.locals {
+		sv.locals[i].completed = make([]uint64, cfg.Tenants)
+		sv.locals[i].hist = make([]perfbench.Histogram, cfg.Tenants)
+	}
+	sv.ing.shedByTenant = make([]uint64, cfg.Tenants)
+	return sv, nil
+}
+
+// In returns the ingest channel. The caller closes it to end the
+// stream; the Service then drains and quiesces.
+func (sv *Service) In() chan<- Request { return sv.in }
+
+// Epoch returns the service time origin Request.Enq is measured from.
+// Valid after Start.
+func (sv *Service) Epoch() time.Time { return sv.epoch }
+
+// Start launches the ingest worker and the pool workers.
+func (sv *Service) Start() {
+	if sv.started {
+		panic("serve: Start called twice")
+	}
+	sv.started = true
+	sv.epoch = time.Now()
+	sv.pool.init(sv.cfg.MinWorkers, sv.cfg.Workers-1, sv.epoch)
+	sv.wg.Add(sv.cfg.Workers)
+	go func() {
+		defer sv.wg.Done()
+		sv.runIngest()
+	}()
+	for wid := 1; wid < sv.cfg.Workers; wid++ {
+		go func(wid int) {
+			defer sv.wg.Done()
+			sv.runPoolWorker(wid)
+		}(wid)
+	}
+}
+
+// Wait blocks until the ingest channel has been closed and every task
+// has been executed, then returns the run's accounting.
+func (sv *Service) Wait() *Stats {
+	sv.wg.Wait()
+	end := time.Now()
+	st := &Stats{
+		Ingested:  sv.ing.ingested,
+		Shed:      sv.ing.shed,
+		Stalls:    sv.ing.stalls,
+		StallDur:  time.Duration(sv.ing.stallNs),
+		Duration:  end.Sub(sv.epoch),
+		PerTenant: make([]TenantStats, sv.cfg.Tenants),
+		Sched:     sv.s.Stats(),
+	}
+	st.Parks, st.Unparks, st.MeanActiveWorkers = sv.pool.finish(end, sv.epoch)
+	for t := 0; t < sv.cfg.Tenants; t++ {
+		ts := &st.PerTenant[t]
+		ts.Shed = sv.ing.shedByTenant[t]
+		for w := range sv.locals {
+			ts.Completed += sv.locals[w].completed[t]
+			ts.Latency.Merge(&sv.locals[w].hist[t])
+		}
+		st.Completed += ts.Completed
+	}
+	return st
+}
+
+// spinSink is the calibrated-work load target: an atomic load of a
+// package variable is a real memory operation the compiler keeps, and
+// concurrent readers do not contend (the line stays shared).
+var spinSink atomic.Uint64
+
+// spinWork burns the request's synthetic service cost: one atomic load
+// per unit, roughly a nanosecond each.
+func spinWork(units uint32) {
+	for i := uint32(0); i < units; i++ {
+		_ = spinSink.Load()
+	}
+}
+
+// process executes one popped request and records its sojourn time.
+func (sv *Service) process(local *workerLocal, t sched.Task[Request]) {
+	spinWork(t.V.Cost)
+	soj := time.Since(sv.epoch).Nanoseconds() - t.V.Enq
+	if soj < 0 {
+		// The generator may run a hair ahead of schedule; clamp.
+		soj = 0
+	}
+	local.hist[t.V.Tenant].Record(uint64(soj))
+	local.completed[t.V.Tenant]++
+}
+
+// runIngest is worker 0: the hybrid ingest-and-process loop. Each
+// round drains up to ingestBatch requests without blocking, applies
+// admission control, publishes the admitted batch through its worker
+// handle (Inc before PushN, so Pending can never dip to zero while the
+// batch is buried in worker-local structures), rescales the pool, and
+// then runs one PopN/process round so tasks its own pushes left in
+// worker-0-local state cannot strand. When the channel closes it turns
+// into a plain worker until quiescence.
+func (sv *Service) runIngest() {
+	w := sv.s.Worker(0)
+	local := &sv.locals[0]
+	popBuf := make([]sched.Task[Request], serveBatch)
+	ps := make([]uint64, 0, ingestBatch)
+	vs := make([]Request, 0, ingestBatch)
+	var b sched.Backoff
+	open := true
+	shedding := false
+	for {
+		progress := false
+		if open {
+			ps, vs = ps[:0], vs[:0]
+		recv:
+			for len(vs) < ingestBatch {
+				select {
+				case r, ok := <-sv.in:
+					if !ok {
+						open = false
+						break recv
+					}
+					sv.ing.ingested++
+					vs = append(vs, r)
+				default:
+					break recv
+				}
+			}
+			if len(vs) > 0 {
+				progress = true
+				vs = sv.admit(w, local, vs, &shedding)
+				if len(vs) > 0 {
+					for _, r := range vs {
+						ps = append(ps, uint64(r.Enq))
+					}
+					sv.pending.Inc(int64(len(vs)))
+					w.PushN(ps, vs)
+				}
+				sv.pool.scaleTo(sv.desiredWorkers(), time.Now())
+			}
+			if !open {
+				// Final external Inc has been issued; from here only
+				// workers create tasks (none do), so Quiesced() is
+				// armed. Wake every parked worker so it can observe
+				// quiescence and exit; parking is refused after close.
+				sv.pending.Close()
+				sv.pool.close(time.Now())
+			}
+		}
+		if k := w.PopN(popBuf); k > 0 {
+			progress = true
+			for i := 0; i < k; i++ {
+				sv.process(local, popBuf[i])
+			}
+			sv.pending.Inc(int64(-k))
+		}
+		if progress {
+			b.Reset()
+			continue
+		}
+		if !open && sv.pending.Quiesced() {
+			return
+		}
+		// PopN may spuriously fail while tasks sit in shared
+		// structures, but no task can strand: parking refuses to go
+		// below MinWorkers >= 1, so some pool worker is always
+		// polling (at worst at the backoff sleep cap's cadence).
+		b.Wait()
+	}
+}
+
+// admit applies the admission policy to a freshly drained batch and
+// returns the admitted suffix. PolicyShed drops requests while the
+// hysteresis flag is set; PolicyStall blocks ingestion — processing
+// all the while — until pending falls to the low watermark, then
+// admits the whole batch.
+func (sv *Service) admit(w sched.Worker[Request], local *workerLocal, vs []Request, shedding *bool) []Request {
+	pend := sv.pending.Load()
+	if *shedding && pend <= sv.cfg.LowWater {
+		*shedding = false
+	}
+	if !*shedding && pend <= sv.cfg.HighWater {
+		return vs
+	}
+	if sv.cfg.Policy == PolicyShed {
+		*shedding = true
+		for _, r := range vs {
+			sv.ing.shed++
+			sv.ing.shedByTenant[r.Tenant]++
+		}
+		return vs[:0]
+	}
+	// PolicyStall: all hands on deck, then help drain. The held batch
+	// backpressures the channel, and the channel the generator.
+	sv.ing.stalls++
+	start := time.Now()
+	sv.pool.scaleTo(sv.cfg.Workers-1, start)
+	popBuf := make([]sched.Task[Request], serveBatch)
+	var b sched.Backoff
+	for sv.pending.Load() > sv.cfg.LowWater {
+		k := w.PopN(popBuf)
+		if k == 0 {
+			b.Wait()
+			continue
+		}
+		b.Reset()
+		for i := 0; i < k; i++ {
+			sv.process(local, popBuf[i])
+		}
+		sv.pending.Inc(int64(-k))
+	}
+	sv.ing.stallNs += time.Since(start).Nanoseconds()
+	return vs
+}
+
+// desiredWorkers is the pool scale target: one active pool worker per
+// TasksPerWorker pending tasks, clamped to [MinWorkers, Workers-1].
+func (sv *Service) desiredWorkers() int {
+	d := int(sv.pending.Load() / sv.cfg.TasksPerWorker)
+	if d < sv.cfg.MinWorkers {
+		d = sv.cfg.MinWorkers
+	}
+	if max := sv.cfg.Workers - 1; d > max {
+		d = max
+	}
+	return d
+}
+
+// runPoolWorker is workers 1..n-1: pop, process, and — once backoff
+// says this slot has been idle long enough to be in the sleep tier —
+// offer to park. Parking is only offered after the worker's OWN PopN
+// returned zero, which implies its handle-local structures are empty:
+// a parked worker can never hold buried tasks.
+func (sv *Service) runPoolWorker(wid int) {
+	w := sv.s.Worker(wid)
+	local := &sv.locals[wid]
+	wake := sv.pool.channel(wid)
+	popBuf := make([]sched.Task[Request], serveBatch)
+	var b sched.Backoff
+	for {
+		if k := w.PopN(popBuf); k > 0 {
+			b.Reset()
+			for i := 0; i < k; i++ {
+				sv.process(local, popBuf[i])
+			}
+			sv.pending.Inc(int64(-k))
+			continue
+		}
+		if sv.pending.Quiesced() {
+			return
+		}
+		if b.Sleeping() && sv.pool.tryPark(wid, time.Now()) {
+			<-wake
+			b.Reset()
+			continue
+		}
+		b.Wait()
+	}
+}
+
+// pool is the elastic worker pool's shared state: which pool workers
+// are parked, how many are active, and the time integral of the active
+// count (for MeanActiveWorkers). All transitions happen under mu, so
+// the park/unpark handshake has no lost wakeups: a worker is only ever
+// woken through a channel it registered while decrementing active, and
+// the ingester's scale checks read active under the same lock.
+type pool struct {
+	mu             sync.Mutex
+	wake           []chan struct{} // per pool worker, buffered(1); index = wid-1
+	parked         []int           // LIFO stack of parked wids
+	active         int
+	min            int
+	closed         bool
+	parks, unparks uint64
+	lastT          time.Time
+	integralNs     float64 // ∫ (1 + active) dt — the 1 is the ingest worker
+}
+
+func (p *pool) init(min, size int, now time.Time) {
+	p.min = min
+	p.active = size
+	p.wake = make([]chan struct{}, size)
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+	}
+	p.lastT = now
+}
+
+func (p *pool) channel(wid int) chan struct{} { return p.wake[wid-1] }
+
+// note folds the elapsed interval into the active-worker integral.
+// Callers hold mu.
+func (p *pool) note(now time.Time) {
+	if dt := now.Sub(p.lastT); dt > 0 {
+		p.integralNs += float64(1+p.active) * float64(dt.Nanoseconds())
+		p.lastT = now
+	}
+}
+
+// tryPark offers to park worker wid. Refused when the pool is at its
+// floor or the stream has closed (a post-close parker could sleep
+// through shutdown).
+func (p *pool) tryPark(wid int, now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.active <= p.min {
+		return false
+	}
+	p.note(now)
+	p.active--
+	p.parks++
+	p.parked = append(p.parked, wid)
+	return true
+}
+
+// scaleTo unparks workers until the active count reaches desired (or
+// no parked workers remain). The wake channels are buffered, so the
+// send lands even if the worker has not reached its receive yet.
+func (p *pool) scaleTo(desired int, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.active < desired && len(p.parked) > 0 {
+		p.note(now)
+		wid := p.parked[len(p.parked)-1]
+		p.parked = p.parked[:len(p.parked)-1]
+		p.active++
+		p.unparks++
+		p.wake[wid-1] <- struct{}{}
+	}
+}
+
+// close wakes every parked worker and refuses all future parking, so
+// each pool worker gets to observe quiescence and exit.
+func (p *pool) close(now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, wid := range p.parked {
+		p.note(now)
+		p.active++
+		p.unparks++
+		p.wake[wid-1] <- struct{}{}
+	}
+	p.parked = p.parked[:0]
+}
+
+// finish closes the integral and reports the pool counters.
+func (p *pool) finish(now, epoch time.Time) (parks, unparks uint64, meanActive float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.note(now)
+	elapsed := now.Sub(epoch).Nanoseconds()
+	if elapsed > 0 {
+		meanActive = p.integralNs / float64(elapsed)
+	}
+	return p.parks, p.unparks, meanActive
+}

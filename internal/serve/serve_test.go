@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// runService builds the named scheduler, runs one open-loop load
+// through a Service, and returns the run's stats plus the generator's.
+func runService(t *testing.T, name string, cfg Config, load LoadConfig) (*Stats, LoadStats) {
+	t.Helper()
+	s, err := Build(name, cfg.Workers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	ls, err := Generate(svc.In(), svc.Epoch(), load)
+	close(svc.In())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc.Wait(), ls
+}
+
+// checkLedger asserts the zero-lost-tasks ledger and the per-tenant
+// decomposition of a run.
+func checkLedger(t *testing.T, name string, st *Stats, sent int) {
+	t.Helper()
+	if st.Ingested != uint64(sent) {
+		t.Fatalf("%s: ingested %d of %d sent", name, st.Ingested, sent)
+	}
+	if st.Ingested != st.Completed+st.Shed {
+		t.Fatalf("%s: LOST TASKS: ingested %d != completed %d + shed %d",
+			name, st.Ingested, st.Completed, st.Shed)
+	}
+	var sumC, sumS uint64
+	for _, ts := range st.PerTenant {
+		sumC += ts.Completed
+		sumS += ts.Shed
+		if ts.Latency.Count() != ts.Completed {
+			t.Fatalf("%s: tenant histogram holds %d samples for %d completions",
+				name, ts.Latency.Count(), ts.Completed)
+		}
+	}
+	if sumC != st.Completed || sumS != st.Shed {
+		t.Fatalf("%s: per-tenant totals (%d, %d) != run totals (%d, %d)",
+			name, sumC, sumS, st.Completed, st.Shed)
+	}
+}
+
+// TestServeSoakZoo is the streaming soak across the whole scheduler
+// lineup: bursty Zipf-skewed arrivals whose gaps repeatedly drain the
+// queue to empty — exactly the shape that breaks emptiness-based
+// termination — then a clean close. Run under -race in CI. Every task
+// must be accounted for: the queue hitting zero between bursts must
+// neither terminate workers early nor lose the tasks buried in worker-
+// local buffers at close time.
+func TestServeSoakZoo(t *testing.T) {
+	tasks := 30000
+	if testing.Short() {
+		tasks = 8000
+	}
+	for _, name := range Lineup() {
+		t.Run(name, func(t *testing.T) {
+			st, ls := runService(t, name,
+				Config{Workers: 4, MinWorkers: 1, Tenants: 3},
+				LoadConfig{Rate: 150000, Tasks: tasks, Tenants: 3, Skew: 0.99,
+					Burst: 64, CostMin: 20, CostMax: 400, Seed: 7})
+			checkLedger(t, name, st, ls.Sent)
+			if st.Shed != 0 {
+				t.Fatalf("%s: shed %d below the watermark", name, st.Shed)
+			}
+			if st.Completed != uint64(tasks) {
+				t.Fatalf("%s: completed %d of %d", name, st.Completed, tasks)
+			}
+		})
+	}
+}
+
+// TestServeShedPolicy forces the high watermark with a tiny admission
+// window and slow service, and checks that shedding both engages and
+// keeps the ledger balanced.
+func TestServeShedPolicy(t *testing.T) {
+	st, ls := runService(t, "smq",
+		Config{Workers: 2, MinWorkers: 1, Tenants: 2,
+			HighWater: 64, LowWater: 16, Policy: PolicyShed},
+		LoadConfig{Rate: 500000, Tasks: 20000, Tenants: 2,
+			CostMin: 2000, CostMax: 4000, Seed: 3})
+	checkLedger(t, "smq", st, ls.Sent)
+	if st.Shed == 0 {
+		t.Fatal("overloaded run with PolicyShed shed nothing")
+	}
+	if st.Completed == 0 {
+		t.Fatal("overloaded run completed nothing")
+	}
+}
+
+// TestServeStallPolicy runs the same overload with PolicyStall:
+// nothing may be shed, and backpressure episodes must be recorded.
+func TestServeStallPolicy(t *testing.T) {
+	tasks := 20000
+	if testing.Short() {
+		tasks = 6000
+	}
+	st, ls := runService(t, "smq",
+		Config{Workers: 2, MinWorkers: 1, Tenants: 2,
+			HighWater: 64, LowWater: 16, Policy: PolicyStall},
+		LoadConfig{Rate: 500000, Tasks: tasks, Tenants: 2,
+			CostMin: 2000, CostMax: 4000, Seed: 3})
+	checkLedger(t, "smq", st, ls.Sent)
+	if st.Shed != 0 {
+		t.Fatalf("PolicyStall shed %d tasks", st.Shed)
+	}
+	if st.Completed != uint64(tasks) {
+		t.Fatalf("completed %d of %d", st.Completed, tasks)
+	}
+	if st.Stalls == 0 || st.StallDur == 0 {
+		t.Fatalf("overloaded run recorded no backpressure (stalls=%d dur=%v)",
+			st.Stalls, st.StallDur)
+	}
+}
+
+// TestServeElasticParking drives a trickle through an oversized pool:
+// the surplus workers must park (and the run must still drain cleanly
+// through the close-time wakeup).
+func TestServeElasticParking(t *testing.T) {
+	st, ls := runService(t, "smq",
+		Config{Workers: 6, MinWorkers: 1, Tenants: 1},
+		LoadConfig{Rate: 2000, Tasks: 400, Tenants: 1,
+			CostMin: 20, CostMax: 100, Seed: 5})
+	checkLedger(t, "smq", st, ls.Sent)
+	if st.Parks == 0 {
+		t.Fatal("idle surplus workers never parked")
+	}
+	if st.MeanActiveWorkers >= float64(5) {
+		t.Fatalf("mean active workers %.2f: pool did not shrink under a trickle",
+			st.MeanActiveWorkers)
+	}
+}
+
+// TestServeQuiescesEmpty closes the stream without offering any load:
+// the service must shut down cleanly (this deadlocked under any
+// protocol that needed at least one task to propagate the close).
+func TestServeQuiescesEmpty(t *testing.T) {
+	s, err := Build("mq", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(s, Config{Workers: 3, Tenants: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	close(svc.In())
+	done := make(chan *Stats, 1)
+	go func() { done <- svc.Wait() }()
+	select {
+	case st := <-done:
+		if st.Ingested != 0 || st.Completed != 0 || st.Shed != 0 {
+			t.Fatalf("empty run reports work: %+v", st)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("empty service did not quiesce")
+	}
+}
+
+// TestServeIdleCPU pins the satellite bugfix's observable effect: an
+// idle service (started, zero offered load) must not busy-spin. The
+// pre-fix Backoff degenerated to a bare Gosched loop, pinning ~100% of
+// a core per awake worker; with the sleep tier and parking the idle
+// fraction sits near zero. The 0.5 bound is deliberately loose for
+// noisy CI machines while still rejecting any spin regression.
+func TestServeIdleCPU(t *testing.T) {
+	if _, ok := processCPU(); !ok {
+		t.Skip("no process CPU accounting on this platform")
+	}
+	s, err := Build("smq", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(s, Config{Workers: 4, Tenants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	frac := MeasureIdleCPU(200 * time.Millisecond)
+	close(svc.In())
+	svc.Wait()
+	if frac < 0 {
+		t.Skip("idle CPU unmeasurable")
+	}
+	if frac > 0.5 {
+		t.Fatalf("idle service burned %.0f%% CPU: busy-spin regression", frac*100)
+	}
+}
+
+// TestServeRunBench exercises the trajectory glue end to end on a tiny
+// run: the generated report must carry a serve section per scheduler
+// and pass perfbench validation (RunBench validates internally).
+func TestServeRunBench(t *testing.T) {
+	rep, err := RunBench(BenchConfig{
+		Schedulers: []string{"smq", "coarse"},
+		Rate:       100000, Tasks: 5000, Tenants: 2, Skew: 0.99,
+		Workers: 3, GeneratedBy: "serve_test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Serve) != 2 {
+		t.Fatalf("report carries %d serve entries, want 2", len(rep.Serve))
+	}
+	for _, sr := range rep.Serve {
+		if sr.Completed+sr.Shed != uint64(5000) {
+			t.Fatalf("%s: %d accounted of 5000", sr.Scheduler, sr.Completed+sr.Shed)
+		}
+	}
+}

@@ -86,6 +86,26 @@
 // over-count merely makes idle workers re-poll. This is the contract
 // the built-in workloads (SSSP, BFS, A*, MST, k-NN, PageRank) run on.
 //
+// # Serving
+//
+// Everything above is run-to-completion: all work descends from seeds
+// registered before workers start, so the in-flight count hitting zero
+// IS termination (Pending.Done, or Close-at-seed + Quiesced as Process
+// does). A long-running service is the opposite shape — tasks stream in
+// from outside the worker set and the queue legitimately drains to
+// empty between arrival bursts — and internal/serve provides that
+// front-end over any scheduler in the zoo: channel-fed streaming
+// ingestion through a hybrid ingest-and-process worker (scheduler
+// handles bury pushed tasks in handle-local buffers, so a push-only
+// ingester would strand its tail), admission control with stall or
+// shed policies at a pending-task watermark, an elastic worker pool
+// that parks idle worker slots on wake channels instead of spinning,
+// and per-tenant sojourn-latency histograms. Termination there uses
+// Pending.Close + Quiesced — drained AND closed — never Done alone;
+// see the sched.Pending documentation for the emptiness-vs-quiescence
+// contract. cmd/smqserve drives it from the command line, and the
+// "serve" harness experiment records an offered-load × scheduler grid.
+//
 // # Priorities
 //
 // All schedulers order tasks by a uint64 priority where LOWER means
@@ -285,6 +305,9 @@ func Process[T any](
 	w0 := s.Worker(0)
 	seedCounter := countingWorker[T]{inner: w0, pending: &pending}
 	seed(&seedCounter)
+	// All external tasks are registered; only workers add follow-ons
+	// from here, so quiescence is a stable termination signal.
+	pending.Close()
 
 	var wg sync.WaitGroup
 	for wid := 0; wid < s.Workers(); wid++ {
@@ -296,7 +319,7 @@ func Process[T any](
 			for {
 				p, v, ok := w.Pop()
 				if !ok {
-					if pending.Done() {
+					if pending.Quiesced() {
 						return
 					}
 					b.Wait()

@@ -1,44 +1,117 @@
-// Command benchcheck parses and schema-validates perf-trajectory JSON
-// files (the BENCH_PR<n>.json artifacts written by `smqbench -json`).
+// Command benchcheck parses, schema-validates, and merges
+// perf-trajectory JSON files (the BENCH_PR<n>.json artifacts written by
+// `smqbench -json` and the shard fragments written by
+// `smqbench -fragment`).
 //
 // Usage:
 //
-//	benchcheck BENCH_PR5.json [more.json ...]
+//	benchcheck [BENCH_PR5.json ...]
+//	benchcheck merge -o merged.json frag0.json frag1.json [...]
+//
+// With no arguments, benchcheck validates every BENCH_*.json in the
+// current directory — the committed trajectory history — and fails if
+// the glob matches nothing.
 //
 // `smqbench -json` already validates the report it is about to write;
 // benchcheck closes the remaining gap by re-reading the bytes actually
 // on disk, so CI fails if the serialized artifact stops parsing or
 // drifts from the schema (including the committed trajectory history).
 // Exit status is non-zero on the first invalid file.
+//
+// The merge subcommand combines shard fragments from parallel runs
+// (different processes, machines, or CI matrix jobs) into one
+// self-validating artifact via perfbench.Merge: experiment grids must
+// end up complete and non-overlapping, and the output is independent of
+// the input file order. Feed the merged file back to
+// `smqbench -assemble` to render the tables.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"repro/internal/perfbench"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck <trajectory.json> [...]")
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		runMerge(os.Args[2:])
+		return
+	}
+	paths := os.Args[1:]
+	if len(paths) == 0 {
+		var err error
+		paths, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			fail("BENCH_*.json", err)
+		}
+		sort.Strings(paths)
+		if len(paths) == 0 {
+			fmt.Fprintln(os.Stderr, "benchcheck: no files given and no BENCH_*.json in the current directory")
+			fmt.Fprintln(os.Stderr, "usage: benchcheck [trajectory.json ...] | benchcheck merge -o out.json frag.json ...")
+			os.Exit(2)
+		}
+	}
+	for _, path := range paths {
+		r := load(path)
+		fmt.Printf("%s: ok (schema %d, %d bench results, %d serve runs, %d experiment fragments)\n",
+			path, r.SchemaVersion, len(r.Results), len(r.Serve), len(r.Experiments))
+	}
+}
+
+// runMerge implements `benchcheck merge -o out.json frag.json ...`.
+func runMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "-", "output path for the merged report ('-' for stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck merge [-o out.json] frag0.json frag1.json [...]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
 		os.Exit(2)
 	}
-	for _, path := range os.Args[1:] {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fail(path, err)
-		}
-		r, err := perfbench.Parse(data)
-		if err != nil {
-			fail(path, err)
-		}
-		if err := perfbench.Validate(r); err != nil {
-			fail(path, err)
-		}
-		fmt.Printf("%s: ok (schema %d, %d bench results, %d serve runs)\n",
-			path, r.SchemaVersion, len(r.Results), len(r.Serve))
+	reports := make([]*perfbench.Report, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		reports = append(reports, load(path))
 	}
+	merged, err := perfbench.Merge(reports)
+	if err != nil {
+		fail("merge", err)
+	}
+	data, err := perfbench.Marshal(merged)
+	if err != nil {
+		fail("merge", err)
+	}
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fail("stdout", err)
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail(*out, err)
+	}
+	fmt.Fprintf(os.Stderr, "merged %d reports: %d experiment fragments, %d bench results, %d serve runs\n",
+		len(reports), len(merged.Experiments), len(merged.Results), len(merged.Serve))
+}
+
+// load reads, parses and schema-validates one report, exiting on error.
+func load(path string) *perfbench.Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(path, err)
+	}
+	r, err := perfbench.Parse(data)
+	if err != nil {
+		fail(path, err)
+	}
+	if err := perfbench.Validate(r); err != nil {
+		fail(path, err)
+	}
+	return r
 }
 
 func fail(path string, err error) {

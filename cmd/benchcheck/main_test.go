@@ -4,6 +4,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -44,4 +45,82 @@ func TestBenchcheckEndToEnd(t *testing.T) {
 	if err := exec.Command(bin, bad).Run(); err == nil {
 		t.Fatal("invalid file accepted")
 	}
+
+	// Default glob: with no arguments the tool validates BENCH_*.json in
+	// the working directory, and fails when the glob matches nothing.
+	glob := t.TempDir()
+	cmd := exec.Command(bin)
+	cmd.Dir = glob
+	if err := cmd.Run(); err == nil {
+		t.Fatal("empty directory accepted without arguments")
+	}
+	if err := os.WriteFile(filepath.Join(glob, "BENCH_PR1.json"), []byte(goodJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(bin)
+	cmd.Dir = glob
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("default glob failed: %v\n%s", err, out)
+	}
+
+	// The bad file must not be picked up: the glob is BENCH_*.json only.
+	if err := os.WriteFile(filepath.Join(glob, "other.json"), []byte(`{"schema_version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(bin)
+	cmd.Dir = glob
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("non-BENCH json broke default glob: %v\n%s", err, out)
+	}
 }
+
+// TestBenchcheckMerge drives the merge subcommand over two shard
+// fragments and re-validates the merged artifact with the same tool.
+func TestBenchcheckMerge(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "benchcheck")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	frag := func(shardIdx, cellIdx int) string {
+		return `{
+  "schema_version": 4,
+  "generated_by": "test shard",
+  "go_version": "go",
+  "host": {"hostname": "h", "os": "linux", "arch": "amd64", "num_cpu": 2},
+  "experiments": [{
+    "experiment": "theory",
+    "config": "c",
+    "total_cells": 2,
+    "shard": {"index": ` + itoa(shardIdx) + `, "total": 2},
+    "cells": [{"index": ` + itoa(cellIdx) + `, "key": "k` + itoa(cellIdx) + `", "kind": "sim", "seed": 1, "status": "ok", "attempts": 1}]
+  }]
+}`
+	}
+	f0 := filepath.Join(dir, "frag0.json")
+	f1 := filepath.Join(dir, "frag1.json")
+	merged := filepath.Join(dir, "merged.json")
+	if err := os.WriteFile(f0, []byte(frag(0, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f1, []byte(frag(1, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "merge", "-o", merged, f0, f1).CombinedOutput(); err != nil {
+		t.Fatalf("merge failed: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, merged).CombinedOutput(); err != nil {
+		t.Fatalf("merged artifact invalid: %v\n%s", err, out)
+	}
+
+	// An incomplete grid must not merge: one shard alone covers 1 of 2.
+	if err := exec.Command(bin, "merge", "-o", filepath.Join(dir, "x.json"), f0).Run(); err == nil {
+		t.Fatal("incomplete grid merged")
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

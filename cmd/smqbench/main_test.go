@@ -3,8 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 
+	"repro/internal/harness"
 	"repro/internal/perfbench"
 )
 
@@ -33,6 +36,57 @@ func TestRunJSONWritesValidReport(t *testing.T) {
 	}
 	if len(r.Results) != 2 {
 		t.Fatalf("got %d results, want 2", len(r.Results))
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if i, n, err := parseShard("1/3"); err != nil || i != 1 || n != 3 {
+		t.Fatalf("1/3 = %d/%d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "2", "3/3", "-1/2", "a/b", "1/0"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseCells(t *testing.T) {
+	got, err := parseCells("0, 5,2")
+	if err != nil || !reflect.DeepEqual(got, []int{0, 5, 2}) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "-1", "x", ",,"} {
+		if _, err := parseCells(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestSubprocessArgv pins the child invocation: the re-exec'd command
+// must target exactly one cell, print a fragment on stdout, and never
+// inherit -subproc or -shard (which would recurse or mis-slice).
+func TestSubprocessArgv(t *testing.T) {
+	cfg := harness.RunConfig{Scale: 2, Threads: []int{1, 2}, MaxThreads: 2,
+		Reps: 3, Validate: true, Seed: 9}
+	mk, err := subprocessExec("nice -n 10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := mk("fig2")(7)
+	argv := strings.Join(cmd.Args, " ")
+	if !strings.HasPrefix(argv, "nice -n 10 ") {
+		t.Fatalf("prefix not applied: %q", argv)
+	}
+	for _, want := range []string{"-exp fig2", "-cells 7", "-fragment -", "-seed 9",
+		"-scale 2", "-threads 1,2", "-maxthreads 2", "-reps 3", "-validate"} {
+		if !strings.Contains(argv, want) {
+			t.Errorf("argv missing %q: %q", want, argv)
+		}
+	}
+	for _, bad := range []string{"-subproc", "-shard"} {
+		if strings.Contains(argv, bad) {
+			t.Errorf("argv must not carry %q: %q", bad, argv)
+		}
 	}
 }
 

@@ -1,0 +1,238 @@
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// enumHash canonically hashes a cell enumeration: any change to the
+// order, keys, kinds, threads, reps or derived seeds changes the hash.
+func enumHash(cells []Cell) (int, string) {
+	h := fnv.New64a()
+	for _, c := range cells {
+		fmt.Fprintf(h, "%d|%s|%s|%s|%s|%s|%d|%d|%d\n",
+			c.Index, c.Key, c.Kind, c.Workload, c.Scheduler, c.Params, c.Threads, c.Reps, c.Seed)
+	}
+	return len(cells), fmt.Sprintf("%016x", h.Sum64())
+}
+
+// goldenCfg is the fixed configuration the enumeration goldens pin.
+var goldenCfg = RunConfig{Scale: 1, Threads: []int{1, 2}, MaxThreads: 2, Reps: 2, Seed: 42}
+
+// goldenEnum pins every experiment's cell enumeration under goldenCfg.
+// These values are a contract with internal/shard: two binaries that
+// disagree on them would assemble fragments of different grids. If you
+// deliberately change an experiment's cell list, run the test once and
+// paste the new entries it suggests.
+var goldenEnum = map[string]struct {
+	cells int
+	hash  string
+}{
+	"table1":    {cells: 4, hash: "401eae429f7ef278"},
+	"table2":    {cells: 96, hash: "582aca57ed89fa32"},
+	"fig1":      {cells: 148, hash: "e2f3731b94843cec"},
+	"fig19":     {cells: 148, hash: "196d82e04271ae80"},
+	"fig2":      {cells: 288, hash: "fbba96de4602b317"},
+	"fig3":      {cells: 208, hash: "b0a768c716c43b23"},
+	"fig7":      {cells: 148, hash: "e0a14e54a3818b66"},
+	"fig9":      {cells: 124, hash: "a79200bd8d862dd1"},
+	"fig11":     {cells: 124, hash: "1014b9dc606037fb"},
+	"fig13":     {cells: 104, hash: "495f816325d25385"},
+	"fig15":     {cells: 20, hash: "83356499777b93dd"},
+	"emq":       {cells: 68, hash: "2203418e19f343b6"},
+	"klsm":      {cells: 24, hash: "f435fd1bc6083ef6"},
+	"geom":      {cells: 72, hash: "3922bfd96a568648"},
+	"numa":      {cells: 124, hash: "a2fbbd07798282a7"},
+	"serve":     {cells: 15, hash: "9818131c5544fa79"},
+	"theory":    {cells: 26, hash: "ae60b34c87d6154d"},
+	"rankprobe": {cells: 24, hash: "a14955b609c11024"},
+}
+
+func TestCellEnumerationGolden(t *testing.T) {
+	for _, e := range Registry() {
+		cells, err := e.Cells(goldenCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		n, h := enumHash(cells)
+		want, ok := goldenEnum[e.ID]
+		if !ok {
+			t.Errorf("%s: no golden entry; add {cells: %d, hash: %q}", e.ID, n, h)
+			continue
+		}
+		if n != want.cells || h != want.hash {
+			t.Errorf("%s: enumeration drifted: got %d cells hash %s, golden %d cells hash %s",
+				e.ID, n, h, want.cells, want.hash)
+		}
+	}
+}
+
+// TestCellEnumerationDeterministic checks the enumeration is a pure
+// function of the config: two independent Plan builds agree cell by
+// cell, and a different base seed changes only the derived seeds.
+func TestCellEnumerationDeterministic(t *testing.T) {
+	for _, e := range Registry() {
+		a, err := e.Cells(goldenCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		b, err := e.Cells(goldenCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		_, ha := enumHash(a)
+		_, hb := enumHash(b)
+		if ha != hb {
+			t.Errorf("%s: two enumerations of the same config differ", e.ID)
+		}
+
+		cfg2 := goldenCfg
+		cfg2.Seed = 43
+		c, err := e.Cells(cfg2)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(c) != len(a) {
+			t.Errorf("%s: base seed changed the cell count (%d vs %d)", e.ID, len(c), len(a))
+			continue
+		}
+		for i := range a {
+			ac, cc := a[i], c[i]
+			ac.Seed, cc.Seed = 0, 0
+			if ac != cc {
+				t.Errorf("%s: cell %d differs beyond the seed under a new base seed", e.ID, i)
+				break
+			}
+		}
+	}
+}
+
+func TestCellSeedProperties(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 10000; i++ {
+		s := CellSeed(42, i)
+		if s == 0 {
+			t.Fatalf("CellSeed(42, %d) = 0", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("CellSeed collision: indices %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+	if CellSeed(1, 7) == CellSeed(2, 7) {
+		t.Fatal("base seed does not separate streams")
+	}
+	if CellSeed(1, 7) != CellSeed(1, 7) {
+		t.Fatal("CellSeed not deterministic")
+	}
+}
+
+func TestPlanErrorCellDoesNotWedgeOthers(t *testing.T) {
+	p := NewPlan("toy", RunConfig{})
+	p.AddCell(Cell{Key: "good"}, func(Cell) (CellResult, error) {
+		return CellResult{Tasks: 1}, nil
+	})
+	p.AddCell(Cell{Key: "bad"}, func(Cell) (CellResult, error) {
+		return CellResult{}, fmt.Errorf("boom")
+	})
+	p.AddCell(Cell{Key: "alsogood"}, func(Cell) (CellResult, error) {
+		return CellResult{Tasks: 2}, nil
+	})
+	rs := p.RunAll()
+	if rs[0].Status != CellOK || rs[2].Status != CellOK {
+		t.Fatalf("good cells disturbed by the bad one: %+v", rs)
+	}
+	if rs[1].Status != CellError || rs[1].Error != "boom" {
+		t.Fatalf("bad cell not reported: %+v", rs[1])
+	}
+	if _, err := p.Assemble(rs); err == nil {
+		t.Fatal("Assemble accepted a failed cell")
+	}
+}
+
+func TestAssembleRejectsPartialResults(t *testing.T) {
+	p := NewPlan("toy", RunConfig{})
+	p.AddCell(Cell{Key: "a"}, func(Cell) (CellResult, error) { return CellResult{}, nil })
+	p.AddCell(Cell{Key: "b"}, func(Cell) (CellResult, error) { return CellResult{}, nil })
+	p.SetAssemble(func([]CellResult) ([]Table, error) { return nil, nil })
+	rs := p.RunAll()
+	if _, err := p.Assemble(rs[:1]); err == nil {
+		t.Fatal("Assemble accepted a partial result set")
+	}
+	rs[0], rs[1] = rs[1], rs[0]
+	if _, err := p.Assemble(rs); err == nil {
+		t.Fatal("Assemble accepted out-of-order results")
+	}
+}
+
+func TestDuplicateCellKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate key did not panic")
+		}
+	}()
+	p := NewPlan("toy", RunConfig{})
+	run := func(Cell) (CellResult, error) { return CellResult{}, nil }
+	p.AddCell(Cell{Key: "x"}, run)
+	p.AddCell(Cell{Key: "x"}, run)
+}
+
+// TestCellReproducibleAcrossPaths is the per-cell seed satellite: the
+// same cell run through two independently built plans (as an in-process
+// run and a shard would) produces identical non-timing results — at one
+// thread the seeded schedulers are fully deterministic.
+func TestCellReproducibleAcrossPaths(t *testing.T) {
+	cfg := RunConfig{Scale: 1, MaxThreads: 1, Reps: 1, Seed: 9, Validate: true}
+	e := mustFind(t, "fig1")
+	p1, err := e.Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick an SMQ measurement cell (index > baselines).
+	idx := -1
+	for _, c := range p1.Cells {
+		if c.Kind == "measure" && c.Scheduler == "SMQ" {
+			idx = c.Index
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no SMQ cell in fig1")
+	}
+	r1 := p1.RunCell(idx)
+	r2 := p2.RunCell(idx)
+	if r1.Status != CellOK || r2.Status != CellOK {
+		t.Fatalf("cells not ok: %q %q", r1.Error, r2.Error)
+	}
+	if r1.Seed != r2.Seed || r1.Key != r2.Key {
+		t.Fatalf("cell identity differs: %+v vs %+v", r1.Cell, r2.Cell)
+	}
+	if r1.Tasks != r2.Tasks || r1.Wasted != r2.Wasted {
+		t.Fatalf("seeded cell not reproducible: tasks %d/%d wasted %d/%d",
+			r1.Tasks, r2.Tasks, r1.Wasted, r2.Wasted)
+	}
+}
+
+// TestTheoryRowsReproducible checks a full experiment whose tables
+// carry no timing fields renders byte-identically across two runs —
+// the property the shard-merge acceptance test builds on.
+func TestTheoryRowsReproducible(t *testing.T) {
+	e := mustFind(t, "theory")
+	cfg := RunConfig{Scale: 1, Seed: 5}
+	t1, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(t1) != fmt.Sprint(t2) {
+		t.Fatal("theory tables differ across identically seeded runs")
+	}
+}

@@ -184,6 +184,20 @@ type SchedulerSpec struct {
 	Name   string
 	Params string // human-readable parameter summary
 	Make   func(workers int) sched.Scheduler[uint32]
+	// MakeSeeded, when set, builds the scheduler with an explicit RNG
+	// seed so a cell reproduces identically across processes. Specs for
+	// schedulers without a seed knob (k-LSM, coarse) leave it nil.
+	MakeSeeded func(workers int, seed uint64) sched.Scheduler[uint32]
+}
+
+// Build constructs the scheduler, threading the seed through when the
+// spec supports it. Seed 0 (or no MakeSeeded) falls back to Make's
+// default seeding.
+func (s SchedulerSpec) Build(workers int, seed uint64) sched.Scheduler[uint32] {
+	if seed != 0 && s.MakeSeeded != nil {
+		return s.MakeSeeded(workers, seed)
+	}
+	return s.Make(workers)
 }
 
 // StandardSchedulers is the Figure 2 lineup — SMQ default + tuned, the
@@ -204,6 +218,9 @@ func StandardSchedulers() []SchedulerSpec {
 			Make: func(workers int) sched.Scheduler[uint32] {
 				return core.NewStealingMQSkipList[uint32](core.Config{Workers: workers})
 			},
+			MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+				return core.NewStealingMQSkipList[uint32](core.Config{Workers: workers, Seed: seed})
+			},
 		},
 		{
 			Name:   "MQ Optimized",
@@ -214,12 +231,23 @@ func StandardSchedulers() []SchedulerSpec {
 					Delete: mq.DeleteBatch, BatchDelete: 8,
 					NUMANodes: 2, NUMAWeightK: 8})
 			},
+			MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+				return mq.New[uint32](mq.Config{Workers: workers, C: 4,
+					Insert: mq.InsertBatch, BatchInsert: 8,
+					Delete: mq.DeleteBatch, BatchDelete: 8,
+					NUMANodes: 2, NUMAWeightK: 8, Seed: seed})
+			},
 		},
 		{
 			Name:   "MQ Classic",
 			Params: "C=4",
 			Make: func(workers int) sched.Scheduler[uint32] {
 				return mq.New[uint32](mq.Classic(workers, 4))
+			},
+			MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+				c := mq.Classic(workers, 4)
+				c.Seed = seed
+				return mq.New[uint32](c)
 			},
 		},
 		EMQSpec("EMQ", 16, 16, 0),
@@ -232,12 +260,20 @@ func StandardSchedulers() []SchedulerSpec {
 			Make: func(workers int) sched.Scheduler[uint32] {
 				return spray.New[uint32](spray.Config{Workers: workers})
 			},
+			MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+				return spray.New[uint32](spray.Config{Workers: workers, Seed: seed})
+			},
 		},
 		{
 			Name:   "RELD",
 			Params: "local dequeue",
 			Make: func(workers int) sched.Scheduler[uint32] {
 				return mq.New[uint32](mq.RELD(workers))
+			},
+			MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+				c := mq.RELD(workers)
+				c.Seed = seed
+				return mq.New[uint32](c)
 			},
 		},
 	}
@@ -268,6 +304,12 @@ func SMQSpec(name string, stealSize int, stealProb float64, numaNodes int) Sched
 				NUMANodes: numaNodes,
 			})
 		},
+		MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			return core.NewStealingMQ[uint32](core.Config{
+				Workers: workers, StealSize: stealSize, StealProb: stealProb,
+				NUMANodes: numaNodes, Seed: seed,
+			})
+		},
 	}
 }
 
@@ -283,6 +325,13 @@ func EMQSpec(name string, stickiness, buffer, numaNodes int) SchedulerSpec {
 				Workers: workers, Stickiness: stickiness,
 				InsertBuffer: buffer, DeleteBuffer: buffer,
 				NUMANodes: numaNodes,
+			})
+		},
+		MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			return emq.New[uint32](emq.Config{
+				Workers: workers, Stickiness: stickiness,
+				InsertBuffer: buffer, DeleteBuffer: buffer,
+				NUMANodes: numaNodes, Seed: seed,
 			})
 		},
 	}
@@ -317,6 +366,10 @@ func OBIMSpec(name string, delta uint32, chunk int, adaptive bool) SchedulerSpec
 			return obim.New[uint32](obim.Config{Workers: workers, Delta: delta,
 				ChunkSize: chunk, Adaptive: adaptive})
 		},
+		MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			return obim.New[uint32](obim.Config{Workers: workers, Delta: delta,
+				ChunkSize: chunk, Adaptive: adaptive, Seed: seed})
+		},
 	}
 }
 
@@ -348,12 +401,20 @@ type Measurement struct {
 // and keeping the best time (the paper reports averages of 10 runs; reps
 // configure that).
 func Measure(w *Workload, spec SchedulerSpec, threads, reps int, validate bool) (Measurement, error) {
+	return MeasureSeeded(w, spec, threads, reps, validate, 0)
+}
+
+// MeasureSeeded is Measure with an explicit scheduler RNG seed (0 =
+// the scheduler's default seeding). Repetitions derive distinct
+// sub-seeds from it, so a multi-rep cell is as reproducible as a
+// single-rep one.
+func MeasureSeeded(w *Workload, spec SchedulerSpec, threads, reps int, validate bool, seed uint64) (Measurement, error) {
 	if reps < 1 {
 		reps = 1
 	}
 	var best algos.Result
 	for r := 0; r < reps; r++ {
-		res, err := w.Run(spec.Make(threads), validate)
+		res, err := w.Run(spec.Build(threads, repSeed(seed, r)), validate)
 		if err != nil {
 			return Measurement{}, err
 		}

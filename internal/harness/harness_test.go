@@ -60,10 +60,19 @@ func TestMeasureRepeatsKeepBest(t *testing.T) {
 	}
 }
 
+func mustFind(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	return e
+}
+
 func TestRegistryCoversPaperArtifacts(t *testing.T) {
 	ids := map[string]bool{}
 	for _, e := range Registry() {
-		if e.ID == "" || e.Paper == "" || e.Run == nil {
+		if e.ID == "" || e.Paper == "" || e.plan == nil {
 			t.Fatalf("incomplete experiment: %+v", e)
 		}
 		if ids[e.ID] {
@@ -88,7 +97,7 @@ func TestFindExperiment(t *testing.T) {
 }
 
 func TestTable1Runs(t *testing.T) {
-	tables, err := runTable1(RunConfig{Scale: 1})
+	tables, err := mustFind(t, "table1").Run(RunConfig{Scale: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +107,7 @@ func TestTable1Runs(t *testing.T) {
 }
 
 func TestTheoryExperimentRuns(t *testing.T) {
-	tables, err := runTheory(RunConfig{Scale: 1})
+	tables, err := mustFind(t, "theory").Run(RunConfig{Scale: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +127,7 @@ func TestSmallComparisonExperiment(t *testing.T) {
 	}
 	// Shrink to a single thread count and validation on, to exercise the
 	// full fig2 path end to end.
-	tables, err := runFig2(RunConfig{Scale: 1, Threads: []int{2}, Reps: 1, Validate: true})
+	tables, err := mustFind(t, "fig2").Run(RunConfig{Scale: 1, Threads: []int{2}, Reps: 1, Validate: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +140,7 @@ func TestKLSMExperimentRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("klsm ablation experiment is slow")
 	}
-	tables, err := runKLSM(RunConfig{Scale: 1, Threads: []int{2}, Reps: 1, Validate: true})
+	tables, err := mustFind(t, "klsm").Run(RunConfig{Scale: 1, Threads: []int{2}, Reps: 1, Validate: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +206,7 @@ func TestGeomExperimentRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("geom experiment is slow")
 	}
-	tables, err := runGeom(RunConfig{Scale: 1, Threads: []int{2}, Reps: 1, Validate: true})
+	tables, err := mustFind(t, "geom").Run(RunConfig{Scale: 1, Threads: []int{2}, Reps: 1, Validate: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -206,29 +206,63 @@ func rankStatsFromOrder(order []uint64) RankStats {
 	}
 }
 
-// runRankProbe is the `rankprobe` experiment: empirical rank quality of
+// rankValues flattens a probe's statistics into a cell's Values map.
+func rankValues(st RankStats) map[string]float64 {
+	return map[string]float64{
+		"meandisp": st.MeanDisplacement,
+		"p99disp":  float64(st.P99Displacement),
+		"maxdisp":  float64(st.MaxDisplacement),
+		"invfrac":  st.InversionFrac,
+	}
+}
+
+// planRankProbe is the `rankprobe` experiment: empirical rank quality of
 // every scheduler implementation, the practical counterpart of the
-// `theory` experiment.
-func runRankProbe(cfg RunConfig) ([]Table, error) {
-	cfg.normalize()
-	tasks := 100000 * cfg.Scale
-	lockstep := Table{
-		Title: fmt.Sprintf("Empirical rank relaxation, lockstep (γ=0 model) — %d tasks, %d worker queues",
-			tasks, cfg.MaxThreads),
-		Header: []string{"Scheduler", "MeanDisp", "P99Disp", "MaxDisp", "Inversions%"},
+// `theory` experiment. Each scheduler × probe mode is one cell.
+func planRankProbe(cfg RunConfig) (*Plan, error) {
+	p := NewPlan("rankprobe", cfg)
+	tasks := 100000 * p.Config.Scale
+	workers := p.Config.MaxThreads
+	specs := AllSchedulers()
+
+	lsRefs := make([]int, len(specs))
+	frRefs := make([]int, len(specs))
+	for i, spec := range specs {
+		spec := spec
+		lsRefs[i] = p.AddCell(Cell{
+			Kind: "probe", Key: "probe/lockstep/" + spec.Name,
+			Scheduler: spec.Name, Params: spec.Params, Threads: workers,
+		}, func(c Cell) (CellResult, error) {
+			return CellResult{Values: rankValues(ProbeRankLockstep(spec, c.Threads, tasks))}, nil
+		})
+		frRefs[i] = p.AddCell(Cell{
+			Kind: "probe", Key: "probe/freerun/" + spec.Name,
+			Scheduler: spec.Name, Params: spec.Params, Threads: workers,
+		}, func(c Cell) (CellResult, error) {
+			return CellResult{Values: rankValues(ProbeRank(spec, c.Threads, tasks))}, nil
+		})
 	}
-	freerun := Table{
-		Title: fmt.Sprintf("Empirical rank relaxation, free-running goroutines — %d tasks, %d workers (includes OS scheduling skew)",
-			tasks, cfg.MaxThreads),
-		Header: []string{"Scheduler", "MeanDisp", "P99Disp", "MaxDisp", "Inversions%"},
-	}
-	for _, spec := range AllSchedulers() {
-		ls := ProbeRankLockstep(spec, cfg.MaxThreads, tasks)
-		lockstep.AddRow(spec.Name, fm(ls.MeanDisplacement), fmt.Sprint(ls.P99Displacement),
-			fmt.Sprint(ls.MaxDisplacement), fm(100*ls.InversionFrac))
-		fr := ProbeRank(spec, cfg.MaxThreads, tasks)
-		freerun.AddRow(spec.Name, fm(fr.MeanDisplacement), fmt.Sprint(fr.P99Displacement),
-			fmt.Sprint(fr.MaxDisplacement), fm(100*fr.InversionFrac))
-	}
-	return []Table{lockstep, freerun}, nil
+
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		lockstep := Table{
+			Title: fmt.Sprintf("Empirical rank relaxation, lockstep (γ=0 model) — %d tasks, %d worker queues",
+				tasks, workers),
+			Header: []string{"Scheduler", "MeanDisp", "P99Disp", "MaxDisp", "Inversions%"},
+		}
+		freerun := Table{
+			Title: fmt.Sprintf("Empirical rank relaxation, free-running goroutines — %d tasks, %d workers (includes OS scheduling skew)",
+				tasks, workers),
+			Header: []string{"Scheduler", "MeanDisp", "P99Disp", "MaxDisp", "Inversions%"},
+		}
+		for i, spec := range specs {
+			v := rs[lsRefs[i]].Values
+			lockstep.AddRow(spec.Name, fm(v["meandisp"]), fmt.Sprint(int(v["p99disp"])),
+				fmt.Sprint(int(v["maxdisp"])), fm(100*v["invfrac"]))
+			v = rs[frRefs[i]].Values
+			freerun.AddRow(spec.Name, fm(v["meandisp"]), fmt.Sprint(int(v["p99disp"])),
+				fmt.Sprint(int(v["maxdisp"])), fm(100*v["invfrac"]))
+		}
+		return []Table{lockstep, freerun}, nil
+	})
+	return p, nil
 }

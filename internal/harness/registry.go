@@ -2,16 +2,20 @@ package harness
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/emq"
+	"repro/internal/graph"
 	"repro/internal/mq"
 	"repro/internal/ranksim"
 	"repro/internal/sched"
 )
 
 // RunConfig controls an experiment run's scale and sweep dimensions.
+// It fully determines the cell enumeration (see Experiment.Cells):
+// two processes with equal configs agree on every cell.
 type RunConfig struct {
 	// Scale multiplies graph sizes (1 = laptop-small; the paper's inputs
 	// are far larger — see DESIGN.md substitutions).
@@ -25,6 +29,10 @@ type RunConfig struct {
 	Reps int
 	// Validate checks every run's output against sequential baselines.
 	Validate bool
+	// Seed is the base RNG seed; each cell derives its own as
+	// CellSeed(Seed, index), so a cell reproduces identically whether
+	// run in-process, in a shard, or alone. 0 means 1.
+	Seed uint64
 }
 
 func (c *RunConfig) normalize() {
@@ -40,37 +48,73 @@ func (c *RunConfig) normalize() {
 	if c.Reps < 1 {
 		c.Reps = 1
 	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 }
 
-// Experiment regenerates one paper artifact.
+// Experiment regenerates one paper artifact. Internally it is a plan
+// builder: Plan enumerates the deterministic cell list and the
+// assembly, Run executes everything in-process (the legacy behavior),
+// and internal/shard executes subsets of the same plan across
+// processes.
 type Experiment struct {
 	ID    string
 	Paper string // which table/figure of the paper this regenerates
 	Desc  string
-	Run   func(cfg RunConfig) ([]Table, error)
+
+	plan func(cfg RunConfig) (*Plan, error)
+}
+
+// Plan enumerates the experiment's cells and assembly for the config.
+func (e Experiment) Plan(cfg RunConfig) (*Plan, error) {
+	if e.plan == nil {
+		return nil, fmt.Errorf("harness: experiment %q has no plan", e.ID)
+	}
+	return e.plan(cfg)
+}
+
+// Cells returns the experiment's deterministic cell enumeration — a
+// pure function of cfg, tested for determinism in cells_test.go.
+func (e Experiment) Cells(cfg RunConfig) ([]Cell, error) {
+	p, err := e.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Cells, nil
+}
+
+// Run executes the whole experiment in this process: enumerate, run
+// every cell sequentially, assemble.
+func (e Experiment) Run(cfg RunConfig) ([]Table, error) {
+	p, err := e.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Assemble(p.RunAll())
 }
 
 // Registry lists every experiment, in paper order.
 func Registry() []Experiment {
 	return []Experiment{
-		{ID: "table1", Paper: "Table 1", Desc: "input graph inventory (substituted generators)", Run: runTable1},
-		{ID: "table2", Paper: "Tables 2-3", Desc: "classic Multi-Queue speedup for C in 2..8", Run: runTable2},
-		{ID: "fig1", Paper: "Figure 1 (+ Figs 17-18, Tables 12-13)", Desc: "SMQ-heap psteal × steal-size ablation", Run: runFig1Heap},
-		{ID: "fig19", Paper: "Figures 19-20, Tables 14-15", Desc: "SMQ-skiplist psteal × steal-size ablation", Run: runFig19Skip},
-		{ID: "fig2", Paper: "Figure 2 (+ Figs 21-22)", Desc: "main scheduler comparison across 12 benchmarks", Run: runFig2},
-		{ID: "fig3", Paper: "Figures 3-6", Desc: "OBIM and PMOD delta × chunk tuning", Run: runFig3},
-		{ID: "fig7", Paper: "Figures 7-8, Tables 4-5", Desc: "MQ insert=TL × delete=TL grid", Run: runFig7},
-		{ID: "fig9", Paper: "Figures 9-10, Tables 6-7", Desc: "MQ insert=TL × delete=batch grid", Run: runFig9},
-		{ID: "fig11", Paper: "Figures 11-12, Tables 8-9", Desc: "MQ insert=batch × delete=TL grid", Run: runFig11},
-		{ID: "fig13", Paper: "Figures 13-14, Tables 10-11", Desc: "MQ insert=batch × delete=batch grid", Run: runFig13},
-		{ID: "fig15", Paper: "Figures 15-16", Desc: "best MQ optimization combinations side by side", Run: runFig15},
-		{ID: "emq", Paper: "Williams et al. 2021 (follow-up baseline)", Desc: "engineered MultiQueue stickiness × buffer-size ablation", Run: runEMQ},
-		{ID: "klsm", Paper: "Wimmer et al. 2015 (k-LSM baseline)", Desc: "k-LSM relaxation ablation (local-LSM bound k sweep)", Run: runKLSM},
-		{ID: "geom", Paper: "Rihani et al. 2014 (scenario extension)", Desc: "k-NN graph + Euclidean MST over point sets, schedulers × distributions", Run: runGeom},
-		{ID: "numa", Paper: "Tables 16-27", Desc: "NUMA weight K sweep for MQ and SMQ variants", Run: runNUMA},
-		{ID: "serve", Paper: "extension (open-loop serving)", Desc: "offered-load × scheduler grid through the streaming service front-end", Run: runServe},
-		{ID: "theory", Paper: "Theorem 1 (§3)", Desc: "rank bounds of the SMQ process vs the (1+β) coupling", Run: runTheory},
-		{ID: "rankprobe", Paper: "§5 (wasted-work mechanism)", Desc: "empirical rank relaxation of every scheduler implementation", Run: runRankProbe},
+		{ID: "table1", Paper: "Table 1", Desc: "input graph inventory (substituted generators)", plan: planTable1},
+		{ID: "table2", Paper: "Tables 2-3", Desc: "classic Multi-Queue speedup for C in 2..8", plan: planTable2},
+		{ID: "fig1", Paper: "Figure 1 (+ Figs 17-18, Tables 12-13)", Desc: "SMQ-heap psteal × steal-size ablation", plan: planFig1Heap},
+		{ID: "fig19", Paper: "Figures 19-20, Tables 14-15", Desc: "SMQ-skiplist psteal × steal-size ablation", plan: planFig19Skip},
+		{ID: "fig2", Paper: "Figure 2 (+ Figs 21-22)", Desc: "main scheduler comparison across 12 benchmarks", plan: planFig2},
+		{ID: "fig3", Paper: "Figures 3-6", Desc: "OBIM and PMOD delta × chunk tuning", plan: planFig3},
+		{ID: "fig7", Paper: "Figures 7-8, Tables 4-5", Desc: "MQ insert=TL × delete=TL grid", plan: planFig7},
+		{ID: "fig9", Paper: "Figures 9-10, Tables 6-7", Desc: "MQ insert=TL × delete=batch grid", plan: planFig9},
+		{ID: "fig11", Paper: "Figures 11-12, Tables 8-9", Desc: "MQ insert=batch × delete=TL grid", plan: planFig11},
+		{ID: "fig13", Paper: "Figures 13-14, Tables 10-11", Desc: "MQ insert=batch × delete=batch grid", plan: planFig13},
+		{ID: "fig15", Paper: "Figures 15-16", Desc: "best MQ optimization combinations side by side", plan: planFig15},
+		{ID: "emq", Paper: "Williams et al. 2021 (follow-up baseline)", Desc: "engineered MultiQueue stickiness × buffer-size ablation", plan: planEMQ},
+		{ID: "klsm", Paper: "Wimmer et al. 2015 (k-LSM baseline)", Desc: "k-LSM relaxation ablation (local-LSM bound k sweep)", plan: planKLSM},
+		{ID: "geom", Paper: "Rihani et al. 2014 (scenario extension)", Desc: "k-NN graph + Euclidean MST over point sets, schedulers × distributions", plan: planGeom},
+		{ID: "numa", Paper: "Tables 16-27", Desc: "NUMA weight K sweep for MQ and SMQ variants", plan: planNUMA},
+		{ID: "serve", Paper: "extension (open-loop serving)", Desc: "offered-load × scheduler grid through the streaming service front-end", plan: planServe},
+		{ID: "theory", Paper: "Theorem 1 (§3)", Desc: "rank bounds of the SMQ process vs the (1+β) coupling", plan: planTheory},
+		{ID: "rankprobe", Paper: "§5 (wasted-work mechanism)", Desc: "empirical rank relaxation of every scheduler implementation", plan: planRankProbe},
 	}
 }
 
@@ -96,62 +140,6 @@ func speedupCell(speedup, work float64) string {
 	return fmt.Sprintf("%.2f/%.2f", speedup, work)
 }
 
-// classicBaselines measures the classic MQ (C=4) on every workload at the
-// given thread count — the ablation experiments' reference point.
-func classicBaselines(ws []*Workload, threads, reps int, validate bool) (map[string]Measurement, error) {
-	spec := SchedulerSpec{Name: "MQ Classic", Params: "C=4", Make: ClassicMQBaseline}
-	out := make(map[string]Measurement, len(ws))
-	for _, w := range ws {
-		m, err := Measure(w, spec, threads, reps, validate)
-		if err != nil {
-			return nil, err
-		}
-		out[w.Name] = m
-	}
-	return out, nil
-}
-
-// gridExperiment runs a two-parameter scheduler grid on the quick
-// workload set, producing one speedup/work table per workload, relative
-// to the classic MQ baseline at the same thread count.
-func gridExperiment(
-	cfg RunConfig,
-	title string,
-	rowName string, rowVals []string,
-	colName string, colVals []string,
-	mk func(row, col int) SchedulerSpec,
-) ([]Table, error) {
-	cfg.normalize()
-	ws := QuickWorkloads(cfg.Scale)
-	base, err := classicBaselines(ws, cfg.MaxThreads, cfg.Reps, cfg.Validate)
-	if err != nil {
-		return nil, err
-	}
-	var tables []Table
-	for _, w := range ws {
-		t := Table{
-			Title:  fmt.Sprintf("%s — %s (cells: speedup/work-increase vs classic MQ, %d threads)", title, w.Name, cfg.MaxThreads),
-			Header: append([]string{rowName + `\` + colName}, colVals...),
-		}
-		b := base[w.Name]
-		for ri, rv := range rowVals {
-			row := []string{rv}
-			for ci := range colVals {
-				m, err := Measure(w, mk(ri, ci), cfg.MaxThreads, cfg.Reps, cfg.Validate)
-				if err != nil {
-					return nil, err
-				}
-				speedup := safeRatio(b.Duration, m.Duration)
-				work := safeDiv(float64(m.Tasks), float64(b.Tasks))
-				row = append(row, speedupCell(speedup, work))
-			}
-			t.AddRow(row...)
-		}
-		tables = append(tables, t)
-	}
-	return tables, nil
-}
-
 func safeRatio(base, d time.Duration) float64 {
 	if d <= 0 {
 		return 0
@@ -166,36 +154,69 @@ func safeDiv(a, b float64) float64 {
 	return a / b
 }
 
+// addClassicBaselines appends one classic-MQ (C=4) baseline cell per
+// workload at the given thread count — the ablation experiments'
+// reference point — returning one cell ref per workload.
+func addClassicBaselines(p *Plan, ws []*Workload, threads int) []int {
+	spec := SchedulerSpec{Name: "MQ Classic", Params: "C=4", Make: ClassicMQBaseline}
+	refs := make([]int, len(ws))
+	for i, w := range ws {
+		refs[i] = p.addMeasure(w, spec, threads, "")
+	}
+	return refs
+}
+
 // ---------------------------------------------------------------------------
 // table1
 
-func runTable1(cfg RunConfig) ([]Table, error) {
-	cfg.normalize()
-	t := Table{
-		Title:  "Table 1 — input graphs (synthetic substitutes; see DESIGN.md §2)",
-		Header: []string{"Graph", "|V|", "|E|", "MaxDeg", "AvgDeg", "Coords", "Description"},
-	}
+func planTable1(cfg RunConfig) (*Plan, error) {
+	p := NewPlan("table1", cfg)
+	gs := graph.StandardInputs(p.Config.Scale)
 	desc := map[string]string{
 		"USA":     "road grid standing in for full USA roads",
 		"WEST":    "road grid standing in for western USA roads",
 		"TWITTER": "RMAT power-law graph standing in for Twitter follows",
 		"WEB":     "RMAT power-law graph standing in for the .sk web crawl",
 	}
-	ws := StandardWorkloads(cfg.Scale)
-	seen := map[string]bool{}
-	for _, w := range ws {
-		name := w.Name[len(w.Name)-len(graphSuffix(w.Name)):]
-		if seen[name] {
-			continue
-		}
-		seen[name] = true
-		s := w.Graph.Stat(name)
-		t.AddRow(s.Name, fmt.Sprint(s.N), fmt.Sprint(s.M), fmt.Sprint(s.MaxDeg),
-			fm(s.AvgDeg), fmt.Sprint(s.HasCoords), desc[name])
+	names := []string{"USA", "WEST", "TWITTER", "WEB"}
+	refs := make([]int, len(names))
+	for i, name := range names {
+		g := gs[name]
+		refs[i] = p.AddCell(Cell{
+			Kind:     "graphstat",
+			Key:      "graphstat/" + name,
+			Workload: name,
+		}, func(c Cell) (CellResult, error) {
+			s := g.Stat(c.Workload)
+			coords := 0.0
+			if s.HasCoords {
+				coords = 1
+			}
+			return CellResult{Values: map[string]float64{
+				"n": float64(s.N), "m": float64(s.M),
+				"maxdeg": float64(s.MaxDeg), "avgdeg": s.AvgDeg,
+				"coords": coords,
+			}}, nil
+		})
 	}
-	return []Table{t}, nil
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		t := Table{
+			Title:  "Table 1 — input graphs (synthetic substitutes; see DESIGN.md §2)",
+			Header: []string{"Graph", "|V|", "|E|", "MaxDeg", "AvgDeg", "Coords", "Description"},
+		}
+		for i, name := range names {
+			v := rs[refs[i]].Values
+			t.AddRow(name,
+				strconv.Itoa(int(v["n"])), strconv.Itoa(int(v["m"])),
+				strconv.Itoa(int(v["maxdeg"])), fm(v["avgdeg"]),
+				strconv.FormatBool(v["coords"] != 0), desc[name])
+		}
+		return []Table{t}, nil
+	})
+	return p, nil
 }
 
+// graphSuffix extracts the graph name from a workload name.
 func graphSuffix(workload string) string {
 	for i := len(workload) - 1; i >= 0; i-- {
 		if workload[i] == ' ' {
@@ -208,32 +229,49 @@ func graphSuffix(workload string) string {
 // ---------------------------------------------------------------------------
 // table2: classic MQ with C in 2..8
 
-func runTable2(cfg RunConfig) ([]Table, error) {
-	cfg.normalize()
-	ws := StandardWorkloads(cfg.Scale)
-	t := Table{
-		Title:  fmt.Sprintf("Tables 2-3 — classic Multi-Queue speedup vs sequential baseline (%d threads)", cfg.MaxThreads),
-		Header: []string{"Benchmark", "C=2", "C=3", "C=4", "C=5", "C=6", "C=7", "C=8"},
+func planTable2(cfg RunConfig) (*Plan, error) {
+	p := NewPlan("table2", cfg)
+	ws := StandardWorkloads(p.Config.Scale)
+	type row struct {
+		seq   int
+		cells []int
 	}
-	for _, w := range ws {
-		_, seqDur := w.SeqBaseline()
-		row := []string{w.Name}
+	rows := make([]row, len(ws))
+	for i, w := range ws {
+		rows[i].seq = p.addSeq(w)
 		for c := 2; c <= 8; c++ {
+			c := c
 			spec := SchedulerSpec{
-				Name: fmt.Sprintf("MQ C=%d", c),
+				Name:   "MQ",
+				Params: fmt.Sprintf("C=%d", c),
 				Make: func(workers int) sched.Scheduler[uint32] {
 					return mq.New[uint32](mq.Classic(workers, c))
 				},
+				MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+					cc := mq.Classic(workers, c)
+					cc.Seed = seed
+					return mq.New[uint32](cc)
+				},
 			}
-			m, err := Measure(w, spec, cfg.MaxThreads, cfg.Reps, cfg.Validate)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fm(safeRatio(seqDur, m.Duration)))
+			rows[i].cells = append(rows[i].cells, p.addMeasure(w, spec, p.Config.MaxThreads, ""))
 		}
-		t.AddRow(row...)
 	}
-	return []Table{t}, nil
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		t := Table{
+			Title:  fmt.Sprintf("Tables 2-3 — classic Multi-Queue speedup vs sequential baseline (%d threads)", p.Config.MaxThreads),
+			Header: []string{"Benchmark", "C=2", "C=3", "C=4", "C=5", "C=6", "C=7", "C=8"},
+		}
+		for i, w := range ws {
+			seqDur := cellDur(rs[rows[i].seq])
+			out := []string{w.Name}
+			for _, ref := range rows[i].cells {
+				out = append(out, fm(safeRatio(seqDur, cellDur(rs[ref]))))
+			}
+			t.AddRow(out...)
+		}
+		return []Table{t}, nil
+	})
+	return p, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -248,40 +286,54 @@ var ablationStealProbs = []struct {
 
 var ablationStealSizes = []int{1, 2, 4, 8, 16, 64}
 
-func runFig1Heap(cfg RunConfig) ([]Table, error) {
-	rows := make([]string, len(ablationStealProbs))
+func ablationLabels() (rows, cols []string) {
+	rows = make([]string, len(ablationStealProbs))
 	for i, sp := range ablationStealProbs {
 		rows[i] = sp.label
 	}
-	cols := make([]string, len(ablationStealSizes))
+	cols = make([]string, len(ablationStealSizes))
 	for i, sz := range ablationStealSizes {
 		cols[i] = fmt.Sprint(sz)
 	}
-	return gridExperiment(cfg, "Figure 1 — SMQ (d-ary heaps)", "psteal", rows, "stealSize", cols,
+	return rows, cols
+}
+
+// planOneGrid wraps the dominant single-grid experiment shape.
+func planOneGrid(id, title, rowName string, rows []string, colName string, cols []string,
+	cfg RunConfig, mk func(ri, ci int) SchedulerSpec) (*Plan, error) {
+	p := NewPlan(id, cfg)
+	ws := QuickWorkloads(p.Config.Scale)
+	g := addGridSection(p, title, rowName, rows, colName, cols, ws, mk)
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		return g.tables(rs), nil
+	})
+	return p, nil
+}
+
+func planFig1Heap(cfg RunConfig) (*Plan, error) {
+	rows, cols := ablationLabels()
+	return planOneGrid("fig1", "Figure 1 — SMQ (d-ary heaps)", "psteal", rows, "stealSize", cols, cfg,
 		func(ri, ci int) SchedulerSpec {
 			return SMQSpec("SMQ", ablationStealSizes[ci], ablationStealProbs[ri].p, 0)
 		})
 }
 
-func runFig19Skip(cfg RunConfig) ([]Table, error) {
-	rows := make([]string, len(ablationStealProbs))
-	for i, sp := range ablationStealProbs {
-		rows[i] = sp.label
-	}
-	cols := make([]string, len(ablationStealSizes))
-	for i, sz := range ablationStealSizes {
-		cols[i] = fmt.Sprint(sz)
-	}
-	return gridExperiment(cfg, "Figures 19-20 — SMQ (skip lists)", "psteal", rows, "stealSize", cols,
+func planFig19Skip(cfg RunConfig) (*Plan, error) {
+	rows, cols := ablationLabels()
+	return planOneGrid("fig19", "Figures 19-20 — SMQ (skip lists)", "psteal", rows, "stealSize", cols, cfg,
 		func(ri, ci int) SchedulerSpec {
-			p := ablationStealProbs[ri].p
+			pr := ablationStealProbs[ri].p
 			sz := ablationStealSizes[ci]
 			return SchedulerSpec{
 				Name:   "SMQ SkipList",
-				Params: fmt.Sprintf("steal=%d psteal=%.3g", sz, p),
+				Params: fmt.Sprintf("steal=%d psteal=%.3g", sz, pr),
 				Make: func(workers int) sched.Scheduler[uint32] {
 					return core.NewStealingMQSkipList[uint32](core.Config{
-						Workers: workers, StealSize: sz, StealProb: p})
+						Workers: workers, StealSize: sz, StealProb: pr})
+				},
+				MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+					return core.NewStealingMQSkipList[uint32](core.Config{
+						Workers: workers, StealSize: sz, StealProb: pr, Seed: seed})
 				},
 			}
 		})
@@ -290,45 +342,55 @@ func runFig19Skip(cfg RunConfig) ([]Table, error) {
 // ---------------------------------------------------------------------------
 // fig2: the main comparison
 
-func runFig2(cfg RunConfig) ([]Table, error) {
-	cfg.normalize()
-	ws := StandardWorkloads(cfg.Scale)
+func planFig2(cfg RunConfig) (*Plan, error) {
+	p := NewPlan("fig2", cfg)
+	ws := StandardWorkloads(p.Config.Scale)
 	specs := StandardSchedulers()
+	baseSpec := SchedulerSpec{Name: "MQ Classic", Params: "C=4", Make: ClassicMQBaseline}
 
-	var tables []Table
-	for _, w := range ws {
-		seqTasks, _ := w.SeqBaseline()
+	type panel struct {
+		seq, base int
+		cells     []int // specs-major, threads-minor
+	}
+	panels := make([]panel, len(ws))
+	for i, w := range ws {
+		panels[i].seq = p.addSeq(w)
 		// Paper baseline: classic Multi-Queue on one thread.
-		baseSpec := SchedulerSpec{Name: "MQ Classic", Params: "C=4", Make: ClassicMQBaseline}
-		base, err := Measure(w, baseSpec, 1, cfg.Reps, cfg.Validate)
-		if err != nil {
-			return nil, err
-		}
-		t := Table{
-			Title:  fmt.Sprintf("Figure 2 — %s (speedup vs classic MQ on 1 thread; work vs sequential)", w.Name),
-			Header: []string{"Scheduler", "Threads", "Time", "Speedup", "WorkIncrease", "RemoteFrac"},
-		}
+		panels[i].base = p.addMeasure(w, baseSpec, 1, "baseline(fig2)")
 		for _, spec := range specs {
-			for _, th := range cfg.Threads {
-				m, err := Measure(w, spec, th, cfg.Reps, cfg.Validate)
-				if err != nil {
-					return nil, err
-				}
-				t.AddRow(spec.Name, fmt.Sprint(th), m.Duration.Round(time.Microsecond).String(),
-					fm(safeRatio(base.Duration, m.Duration)),
+			for _, th := range p.Config.Threads {
+				panels[i].cells = append(panels[i].cells, p.addMeasure(w, spec, th, ""))
+			}
+		}
+	}
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		var tables []Table
+		for i, w := range ws {
+			seqTasks := rs[panels[i].seq].Tasks
+			base := rs[panels[i].base]
+			t := Table{
+				Title:  fmt.Sprintf("Figure 2 — %s (speedup vs classic MQ on 1 thread; work vs sequential)", w.Name),
+				Header: []string{"Scheduler", "Threads", "Time", "Speedup", "WorkIncrease", "RemoteFrac"},
+			}
+			for _, ref := range panels[i].cells {
+				m := rs[ref]
+				t.AddRow(m.Scheduler, fmt.Sprint(m.Threads),
+					cellDur(m).Round(time.Microsecond).String(),
+					fm(safeRatio(cellDur(base), cellDur(m))),
 					fm(safeDiv(float64(m.Tasks), float64(seqTasks))),
 					fm(m.Remote))
 			}
+			tables = append(tables, t)
 		}
-		tables = append(tables, t)
-	}
-	return tables, nil
+		return tables, nil
+	})
+	return p, nil
 }
 
 // ---------------------------------------------------------------------------
 // fig3: OBIM / PMOD tuning
 
-func runFig3(cfg RunConfig) ([]Table, error) {
+func planFig3(cfg RunConfig) (*Plan, error) {
 	deltas := []uint32{2, 4, 8, 12, 16}
 	chunks := []int{1, 8, 32, 64, 256}
 	rows := make([]string, len(deltas))
@@ -339,21 +401,20 @@ func runFig3(cfg RunConfig) ([]Table, error) {
 	for i, c := range chunks {
 		cols[i] = fmt.Sprint(c)
 	}
-	obimTables, err := gridExperiment(cfg, "Figures 3/5 — OBIM tuning", "delta", rows, "chunk", cols,
+	p := NewPlan("fig3", cfg)
+	ws := QuickWorkloads(p.Config.Scale)
+	obimSec := addGridSection(p, "Figures 3/5 — OBIM tuning", "delta", rows, "chunk", cols, ws,
 		func(ri, ci int) SchedulerSpec {
 			return OBIMSpec("OBIM", deltas[ri], chunks[ci], false)
 		})
-	if err != nil {
-		return nil, err
-	}
-	pmodTables, err := gridExperiment(cfg, "Figures 4/6 — PMOD tuning", "delta", rows, "chunk", cols,
+	pmodSec := addGridSection(p, "Figures 4/6 — PMOD tuning", "delta", rows, "chunk", cols, ws,
 		func(ri, ci int) SchedulerSpec {
 			return OBIMSpec("PMOD", deltas[ri], chunks[ci], true)
 		})
-	if err != nil {
-		return nil, err
-	}
-	return append(obimTables, pmodTables...), nil
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		return append(obimSec.tables(rs), pmodSec.tables(rs)...), nil
+	})
+	return p, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -392,11 +453,17 @@ func mqSpec(name string, c mq.Config) SchedulerSpec {
 			c2.Workers = workers
 			return mq.New[uint32](c2)
 		},
+		MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			c2 := c
+			c2.Workers = workers
+			c2.Seed = seed
+			return mq.New[uint32](c2)
+		},
 	}
 }
 
-func runFig7(cfg RunConfig) ([]Table, error) {
-	return gridExperiment(cfg, "Figures 7-8 — MQ insert=TL, delete=TL", "pinsert", tlLabels(), "pdelete", tlLabels(),
+func planFig7(cfg RunConfig) (*Plan, error) {
+	return planOneGrid("fig7", "Figures 7-8 — MQ insert=TL, delete=TL", "pinsert", tlLabels(), "pdelete", tlLabels(), cfg,
 		func(ri, ci int) SchedulerSpec {
 			return mqSpec("MQ TL/TL", mq.Config{C: 4,
 				Insert: mq.InsertTemporalLocality, PInsertChange: tlProbs[ri].p,
@@ -404,8 +471,8 @@ func runFig7(cfg RunConfig) ([]Table, error) {
 		})
 }
 
-func runFig9(cfg RunConfig) ([]Table, error) {
-	return gridExperiment(cfg, "Figures 9-10 — MQ insert=TL, delete=batch", "pinsert", tlLabels(), "batchDelete", batchLabels(),
+func planFig9(cfg RunConfig) (*Plan, error) {
+	return planOneGrid("fig9", "Figures 9-10 — MQ insert=TL, delete=batch", "pinsert", tlLabels(), "batchDelete", batchLabels(), cfg,
 		func(ri, ci int) SchedulerSpec {
 			return mqSpec("MQ TL/B", mq.Config{C: 4,
 				Insert: mq.InsertTemporalLocality, PInsertChange: tlProbs[ri].p,
@@ -413,8 +480,8 @@ func runFig9(cfg RunConfig) ([]Table, error) {
 		})
 }
 
-func runFig11(cfg RunConfig) ([]Table, error) {
-	return gridExperiment(cfg, "Figures 11-12 — MQ insert=batch, delete=TL", "batchInsert", batchLabels(), "pdelete", tlLabels(),
+func planFig11(cfg RunConfig) (*Plan, error) {
+	return planOneGrid("fig11", "Figures 11-12 — MQ insert=batch, delete=TL", "batchInsert", batchLabels(), "pdelete", tlLabels(), cfg,
 		func(ri, ci int) SchedulerSpec {
 			return mqSpec("MQ B/TL", mq.Config{C: 4,
 				Insert: mq.InsertBatch, BatchInsert: batchSizes[ri],
@@ -422,8 +489,8 @@ func runFig11(cfg RunConfig) ([]Table, error) {
 		})
 }
 
-func runFig13(cfg RunConfig) ([]Table, error) {
-	return gridExperiment(cfg, "Figures 13-14 — MQ insert=batch, delete=batch", "batchInsert", batchLabels(), "batchDelete", batchLabels(),
+func planFig13(cfg RunConfig) (*Plan, error) {
+	return planOneGrid("fig13", "Figures 13-14 — MQ insert=batch, delete=batch", "batchInsert", batchLabels(), "batchDelete", batchLabels(), cfg,
 		func(ri, ci int) SchedulerSpec {
 			return mqSpec("MQ B/B", mq.Config{C: 4,
 				Insert: mq.InsertBatch, BatchInsert: batchSizes[ri],
@@ -431,15 +498,13 @@ func runFig13(cfg RunConfig) ([]Table, error) {
 		})
 }
 
-// runFig15 compares a representative good configuration of each MQ
+// planFig15 compares a representative good configuration of each MQ
 // optimization combination (the paper compares each combo's best).
-func runFig15(cfg RunConfig) ([]Table, error) {
-	cfg.normalize()
-	ws := QuickWorkloads(cfg.Scale)
-	base, err := classicBaselines(ws, cfg.MaxThreads, cfg.Reps, cfg.Validate)
-	if err != nil {
-		return nil, err
-	}
+func planFig15(cfg RunConfig) (*Plan, error) {
+	p := NewPlan("fig15", cfg)
+	ws := QuickWorkloads(p.Config.Scale)
+	base := addClassicBaselines(p, ws, p.Config.MaxThreads)
+	comboNames := []string{"TL/TL", "TL/B", "B/TL", "B/B"}
 	combos := []SchedulerSpec{
 		mqSpec("TL/TL", mq.Config{C: 4, Insert: mq.InsertTemporalLocality, PInsertChange: 1.0 / 64,
 			Delete: mq.DeleteTemporalLocality, PDeleteChange: 1.0 / 64}),
@@ -450,24 +515,30 @@ func runFig15(cfg RunConfig) ([]Table, error) {
 		mqSpec("B/B", mq.Config{C: 4, Insert: mq.InsertBatch, BatchInsert: 8,
 			Delete: mq.DeleteBatch, BatchDelete: 8}),
 	}
-	t := Table{
-		Title:  fmt.Sprintf("Figures 15-16 — MQ optimization combos (speedup/work vs classic MQ, %d threads)", cfg.MaxThreads),
-		Header: []string{"Benchmark", "TL/TL", "TL/B", "B/TL", "B/B"},
-	}
-	for _, w := range ws {
-		b := base[w.Name]
-		row := []string{w.Name}
+	cells := make([][]int, len(ws))
+	for i, w := range ws {
 		for _, spec := range combos {
-			m, err := Measure(w, spec, cfg.MaxThreads, cfg.Reps, cfg.Validate)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, speedupCell(safeRatio(b.Duration, m.Duration),
-				safeDiv(float64(m.Tasks), float64(b.Tasks))))
+			cells[i] = append(cells[i], p.addMeasure(w, spec, p.Config.MaxThreads, "combo="+spec.Name))
 		}
-		t.AddRow(row...)
 	}
-	return []Table{t}, nil
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		t := Table{
+			Title:  fmt.Sprintf("Figures 15-16 — MQ optimization combos (speedup/work vs classic MQ, %d threads)", p.Config.MaxThreads),
+			Header: append([]string{"Benchmark"}, comboNames...),
+		}
+		for i, w := range ws {
+			b := rs[base[i]]
+			row := []string{w.Name}
+			for _, ref := range cells[i] {
+				m := rs[ref]
+				row = append(row, speedupCell(safeRatio(cellDur(b), cellDur(m)),
+					safeDiv(float64(m.Tasks), float64(b.Tasks))))
+			}
+			t.AddRow(row...)
+		}
+		return []Table{t}, nil
+	})
+	return p, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -482,7 +553,7 @@ var (
 	emqBuffers    = []int{1, 4, 16, 64}
 )
 
-func runEMQ(cfg RunConfig) ([]Table, error) {
+func planEMQ(cfg RunConfig) (*Plan, error) {
 	rows := make([]string, len(emqStickiness))
 	for i, s := range emqStickiness {
 		rows[i] = fmt.Sprint(s)
@@ -491,7 +562,7 @@ func runEMQ(cfg RunConfig) ([]Table, error) {
 	for i, b := range emqBuffers {
 		cols[i] = fmt.Sprint(b)
 	}
-	return gridExperiment(cfg, "Engineered MultiQueue — Williams et al. 2021", "stickiness", rows, "buffer", cols,
+	return planOneGrid("emq", "Engineered MultiQueue — Williams et al. 2021", "stickiness", rows, "buffer", cols, cfg,
 		func(ri, ci int) SchedulerSpec {
 			return EMQSpec("EMQ", emqStickiness[ri], emqBuffers[ci], 0)
 		})
@@ -505,53 +576,53 @@ func runEMQ(cfg RunConfig) ([]Table, error) {
 // bracketing the k-LSM paper's headline k = 256.
 var klsmRelaxations = []int{4, 64, 256, 1024, 4096}
 
-// runKLSM measures the k-LSM across its relaxation sweep on the quick
+// planKLSM measures the k-LSM across its relaxation sweep on the quick
 // workload set, one row per workload, cells speedup/work-increase
 // against the classic MQ baseline — the same normalization as the other
 // ablation grids, so the k-LSM columns are directly comparable to the
 // emq and fig1 tables.
-func runKLSM(cfg RunConfig) ([]Table, error) {
-	cfg.normalize()
-	ws := QuickWorkloads(cfg.Scale)
-	base, err := classicBaselines(ws, cfg.MaxThreads, cfg.Reps, cfg.Validate)
-	if err != nil {
-		return nil, err
-	}
-	header := []string{"Benchmark"}
-	for _, k := range klsmRelaxations {
-		header = append(header, fmt.Sprintf("k=%d", k))
-	}
-	t := Table{
-		Title: fmt.Sprintf("k-LSM (Wimmer et al. 2015) — relaxation sweep (cells: speedup/work-increase vs classic MQ, %d threads)",
-			cfg.MaxThreads),
-		Header: header,
-	}
-	for _, w := range ws {
-		b := base[w.Name]
-		row := []string{w.Name}
+func planKLSM(cfg RunConfig) (*Plan, error) {
+	p := NewPlan("klsm", cfg)
+	ws := QuickWorkloads(p.Config.Scale)
+	base := addClassicBaselines(p, ws, p.Config.MaxThreads)
+	cells := make([][]int, len(ws))
+	for i, w := range ws {
 		for _, k := range klsmRelaxations {
-			m, err := Measure(w, KLSMSpec("kLSM", k), cfg.MaxThreads, cfg.Reps, cfg.Validate)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, speedupCell(safeRatio(b.Duration, m.Duration),
-				safeDiv(float64(m.Tasks), float64(b.Tasks))))
+			cells[i] = append(cells[i], p.addMeasure(w, KLSMSpec("kLSM", k), p.Config.MaxThreads, ""))
 		}
-		t.AddRow(row...)
 	}
-	return []Table{t}, nil
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		header := []string{"Benchmark"}
+		for _, k := range klsmRelaxations {
+			header = append(header, fmt.Sprintf("k=%d", k))
+		}
+		t := Table{
+			Title: fmt.Sprintf("k-LSM (Wimmer et al. 2015) — relaxation sweep (cells: speedup/work-increase vs classic MQ, %d threads)",
+				p.Config.MaxThreads),
+			Header: header,
+		}
+		for i, w := range ws {
+			b := rs[base[i]]
+			row := []string{w.Name}
+			for _, ref := range cells[i] {
+				m := rs[ref]
+				row = append(row, speedupCell(safeRatio(cellDur(b), cellDur(m)),
+					safeDiv(float64(m.Tasks), float64(b.Tasks))))
+			}
+			t.AddRow(row...)
+		}
+		return []Table{t}, nil
+	})
+	return p, nil
 }
 
 // ---------------------------------------------------------------------------
 // numa: Tables 16-27
 
-func runNUMA(cfg RunConfig) ([]Table, error) {
-	cfg.normalize()
-	ws := QuickWorkloads(cfg.Scale)
-	base, err := classicBaselines(ws, cfg.MaxThreads, cfg.Reps, cfg.Validate)
-	if err != nil {
-		return nil, err
-	}
+func planNUMA(cfg RunConfig) (*Plan, error) {
+	p := NewPlan("numa", cfg)
+	ws := QuickWorkloads(p.Config.Scale)
+	base := addClassicBaselines(p, ws, p.Config.MaxThreads)
 	ks := []float64{1, 2, 8, 64, 256, 1024}
 	variants := []struct {
 		name string
@@ -571,42 +642,62 @@ func runNUMA(cfg RunConfig) ([]Table, error) {
 			return SchedulerSpec{Name: "SMQ", Make: func(workers int) sched.Scheduler[uint32] {
 				return core.NewStealingMQ[uint32](core.Config{Workers: workers,
 					NUMANodes: 2, NUMAWeightK: k})
+			}, MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+				return core.NewStealingMQ[uint32](core.Config{Workers: workers,
+					NUMANodes: 2, NUMAWeightK: k, Seed: seed})
 			}}
 		}},
 		{"SMQ skiplist", func(k float64) SchedulerSpec {
 			return SchedulerSpec{Name: "SMQ skip", Make: func(workers int) sched.Scheduler[uint32] {
 				return core.NewStealingMQSkipList[uint32](core.Config{Workers: workers,
 					NUMANodes: 2, NUMAWeightK: k})
+			}, MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+				return core.NewStealingMQSkipList[uint32](core.Config{Workers: workers,
+					NUMANodes: 2, NUMAWeightK: k, Seed: seed})
 			}}
 		}},
 		{"EMQ", func(k float64) SchedulerSpec {
 			return SchedulerSpec{Name: "EMQ", Make: func(workers int) sched.Scheduler[uint32] {
 				return emq.New[uint32](emq.Config{Workers: workers,
 					NUMANodes: 2, NUMAWeightK: k})
+			}, MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+				return emq.New[uint32](emq.Config{Workers: workers,
+					NUMANodes: 2, NUMAWeightK: k, Seed: seed})
 			}}
 		}},
 	}
-	var tables []Table
-	for _, v := range variants {
-		t := Table{
-			Title:  fmt.Sprintf("Tables 16-27 — %s with NUMA weight K (cells: speedup/remote-fraction, %d threads, 2 virtual nodes)", v.name, cfg.MaxThreads),
-			Header: append([]string{"Benchmark"}, kLabels(ks)...),
-		}
-		for _, w := range ws {
-			b := base[w.Name]
-			row := []string{w.Name}
+	// cells[variant][workload][kIndex]
+	cells := make([][][]int, len(variants))
+	for vi, v := range variants {
+		cells[vi] = make([][]int, len(ws))
+		for wi, w := range ws {
 			for _, k := range ks {
-				m, err := Measure(w, v.mk(k), cfg.MaxThreads, cfg.Reps, cfg.Validate)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.2f/%.2f", safeRatio(b.Duration, m.Duration), m.Remote))
+				keyParams := fmt.Sprintf("variant=%s,K=%g", v.name, k)
+				cells[vi][wi] = append(cells[vi][wi], p.addMeasure(w, v.mk(k), p.Config.MaxThreads, keyParams))
 			}
-			t.AddRow(row...)
 		}
-		tables = append(tables, t)
 	}
-	return tables, nil
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		var tables []Table
+		for vi, v := range variants {
+			t := Table{
+				Title:  fmt.Sprintf("Tables 16-27 — %s with NUMA weight K (cells: speedup/remote-fraction, %d threads, 2 virtual nodes)", v.name, p.Config.MaxThreads),
+				Header: append([]string{"Benchmark"}, kLabels(ks)...),
+			}
+			for wi, w := range ws {
+				b := rs[base[wi]]
+				row := []string{w.Name}
+				for _, ref := range cells[vi][wi] {
+					m := rs[ref]
+					row = append(row, fmt.Sprintf("%.2f/%.2f", safeRatio(cellDur(b), cellDur(m)), m.Remote))
+				}
+				t.AddRow(row...)
+			}
+			tables = append(tables, t)
+		}
+		return tables, nil
+	})
+	return p, nil
 }
 
 func kLabels(ks []float64) []string {
@@ -620,56 +711,74 @@ func kLabels(ks []float64) []string {
 // ---------------------------------------------------------------------------
 // theory: Theorem 1 validation
 
-func runTheory(cfg RunConfig) ([]Table, error) {
-	cfg.normalize()
-	elements := 200000 * cfg.Scale
+// addSimCell appends one discrete rank-model simulation cell; the
+// simulation's RNG seed is the cell's derived seed, so any shard (or a
+// solo re-run) reproduces the exact same statistics.
+func addSimCell(p *Plan, key string, mk func(seed uint64) (values map[string]float64)) int {
+	return p.AddCell(Cell{Kind: "sim", Key: key, Threads: 1}, func(c Cell) (CellResult, error) {
+		return CellResult{Values: mk(c.Seed)}, nil
+	})
+}
+
+func planTheory(cfg RunConfig) (*Plan, error) {
+	p := NewPlan("theory", cfg)
+	elements := 200000 * p.Config.Scale
+	steps := 50000 * p.Config.Scale
 
 	// (a) rank vs number of queues.
-	ta := Table{
-		Title:  "Theorem 1(a) — mean removed rank vs queues n (psteal=1/8, B=1)",
-		Header: []string{"n", "MeanRank", "MaxRank", "TheoremBound"},
-	}
-	for _, n := range []int{4, 8, 16, 32, 64} {
-		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
-			Queues: n, Elements: elements, StealProb: 0.125, Batch: 1, Seed: 1})
-		ta.AddRow(fmt.Sprint(n), fm(res.MeanRemovedRank), fmt.Sprint(res.MaxRemovedRank),
-			fm(ranksim.TheoremBound(n, 1, 0.125, 0)))
+	ns := []int{4, 8, 16, 32, 64}
+	aRefs := make([]int, len(ns))
+	for i, n := range ns {
+		n := n
+		aRefs[i] = addSimCell(p, fmt.Sprintf("sim/a/n=%d", n), func(seed uint64) map[string]float64 {
+			res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+				Queues: n, Elements: elements, StealProb: 0.125, Batch: 1, Seed: seed})
+			return map[string]float64{
+				"meanrank": res.MeanRemovedRank, "maxrank": float64(res.MaxRemovedRank),
+				"bound": ranksim.TheoremBound(n, 1, 0.125, 0)}
+		})
 	}
 
 	// (b) rank vs stealing probability.
-	tb := Table{
-		Title:  "Theorem 1(b) — mean removed rank vs psteal (n=16, B=1)",
-		Header: []string{"psteal", "MeanRank", "MaxRank", "TheoremBound"},
-	}
-	for _, p := range []float64{0.5, 0.25, 0.125, 0.0625, 0.03125} {
-		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
-			Queues: 16, Elements: elements, StealProb: p, Batch: 1, Seed: 2})
-		tb.AddRow(fmt.Sprintf("%.3g", p), fm(res.MeanRemovedRank), fmt.Sprint(res.MaxRemovedRank),
-			fm(ranksim.TheoremBound(16, 1, p, 0)))
+	probs := []float64{0.5, 0.25, 0.125, 0.0625, 0.03125}
+	bRefs := make([]int, len(probs))
+	for i, pr := range probs {
+		pr := pr
+		bRefs[i] = addSimCell(p, fmt.Sprintf("sim/b/psteal=%.3g", pr), func(seed uint64) map[string]float64 {
+			res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+				Queues: 16, Elements: elements, StealProb: pr, Batch: 1, Seed: seed})
+			return map[string]float64{
+				"meanrank": res.MeanRemovedRank, "maxrank": float64(res.MaxRemovedRank),
+				"bound": ranksim.TheoremBound(16, 1, pr, 0)}
+		})
 	}
 
 	// (c) rank vs batch size.
-	tc := Table{
-		Title:  "Theorem 1(c) — mean removed rank vs batch B (n=16, psteal=1/8)",
-		Header: []string{"B", "MeanRank", "MaxRank", "TheoremBound"},
-	}
-	for _, b := range []int{1, 2, 4, 8, 16} {
-		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
-			Queues: 16, Elements: elements, StealProb: 0.125, Batch: b, Seed: 3})
-		tc.AddRow(fmt.Sprint(b), fm(res.MeanRemovedRank), fmt.Sprint(res.MaxRemovedRank),
-			fm(ranksim.TheoremBound(16, b, 0.125, 0)))
+	batches := []int{1, 2, 4, 8, 16}
+	cRefs := make([]int, len(batches))
+	for i, b := range batches {
+		b := b
+		cRefs[i] = addSimCell(p, fmt.Sprintf("sim/c/B=%d", b), func(seed uint64) map[string]float64 {
+			res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+				Queues: 16, Elements: elements, StealProb: 0.125, Batch: b, Seed: seed})
+			return map[string]float64{
+				"meanrank": res.MeanRemovedRank, "maxrank": float64(res.MaxRemovedRank),
+				"bound": ranksim.TheoremBound(16, b, 0.125, 0)}
+		})
 	}
 
 	// (d) unfair scheduling within the theorem's condition.
-	td := Table{
-		Title:  "Theorem 1(d) — scheduler unfairness γ (n=16, psteal=1/2, B=1)",
-		Header: []string{"gamma", "MeanRank", "MaxRank", "TheoremBound"},
-	}
-	for _, g := range []float64{0, 0.005, 0.015, 0.03} {
-		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
-			Queues: 16, Elements: elements, StealProb: 0.5, Batch: 1, Gamma: g, Seed: 4})
-		td.AddRow(fmt.Sprintf("%.3g", g), fm(res.MeanRemovedRank), fmt.Sprint(res.MaxRemovedRank),
-			fm(ranksim.TheoremBound(16, 1, 0.5, g)))
+	gammas := []float64{0, 0.005, 0.015, 0.03}
+	dRefs := make([]int, len(gammas))
+	for i, g := range gammas {
+		g := g
+		dRefs[i] = addSimCell(p, fmt.Sprintf("sim/d/gamma=%.3g", g), func(seed uint64) map[string]float64 {
+			res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+				Queues: 16, Elements: elements, StealProb: 0.5, Batch: 1, Gamma: g, Seed: seed})
+			return map[string]float64{
+				"meanrank": res.MeanRemovedRank, "maxrank": float64(res.MaxRemovedRank),
+				"bound": ranksim.TheoremBound(16, 1, 0.5, g)}
+		})
 	}
 
 	// (d2) classic Multi-Queue rank vs queue count. Setting p_steal = 1
@@ -677,29 +786,86 @@ func runTheory(cfg RunConfig) ([]Table, error) {
 	// delete and take the better top — exactly the classic Multi-Queue's
 	// two-choice delete — so the same simulator covers the O(m) result
 	// of Alistarh et al. that the paper builds on.
-	tmq := Table{
-		Title:  "Classic Multi-Queue (= SMQ process at psteal=1) — mean removed rank vs m",
-		Header: []string{"m", "MeanRank", "MaxRank", "O(m) reference"},
-	}
-	for _, m := range []int{8, 16, 32, 64} {
-		res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
-			Queues: m, Elements: elements, StealProb: 1, Batch: 1, Seed: 8})
-		tmq.AddRow(fmt.Sprint(m), fm(res.MeanRemovedRank), fmt.Sprint(res.MaxRemovedRank), fmt.Sprint(m))
-	}
-
-	// (e) continuous SMQ process vs its (1+β) coupling.
-	te := Table{
-		Title:  "Appendix A — continuous SMQ vs (1+β) coupling (n=16, stationary top ranks)",
-		Header: []string{"psteal", "SMQ avg", "SMQ max", "β=p/2 avg", "β=p/2 max"},
-	}
-	for _, p := range []float64{0.5, 0.25, 0.125} {
-		smq := ranksim.RunContinuousSMQ(ranksim.ContinuousConfig{
-			Bins: 16, Steps: 50000 * cfg.Scale, StealProb: p, Seed: 5})
-		beta := ranksim.RunOnePlusBeta(ranksim.ContinuousConfig{
-			Bins: 16, Steps: 50000 * cfg.Scale, Beta: p / 2, Seed: 5})
-		te.AddRow(fmt.Sprintf("%.3g", p), fm(smq.MeanTopAvg), fm(smq.MeanTopMax),
-			fm(beta.MeanTopAvg), fm(beta.MeanTopMax))
+	mqs := []int{8, 16, 32, 64}
+	mqRefs := make([]int, len(mqs))
+	for i, m := range mqs {
+		m := m
+		mqRefs[i] = addSimCell(p, fmt.Sprintf("sim/mq/m=%d", m), func(seed uint64) map[string]float64 {
+			res := ranksim.RunDiscrete(ranksim.DiscreteConfig{
+				Queues: m, Elements: elements, StealProb: 1, Batch: 1, Seed: seed})
+			return map[string]float64{
+				"meanrank": res.MeanRemovedRank, "maxrank": float64(res.MaxRemovedRank)}
+		})
 	}
 
-	return []Table{ta, tb, tc, td, tmq, te}, nil
+	// (e) continuous SMQ process vs its (1+β) coupling: one cell per
+	// psteal runs both coupled processes from the same seed.
+	eProbs := []float64{0.5, 0.25, 0.125}
+	eRefs := make([]int, len(eProbs))
+	for i, pr := range eProbs {
+		pr := pr
+		eRefs[i] = addSimCell(p, fmt.Sprintf("sim/e/psteal=%.3g", pr), func(seed uint64) map[string]float64 {
+			smq := ranksim.RunContinuousSMQ(ranksim.ContinuousConfig{
+				Bins: 16, Steps: steps, StealProb: pr, Seed: seed})
+			beta := ranksim.RunOnePlusBeta(ranksim.ContinuousConfig{
+				Bins: 16, Steps: steps, Beta: pr / 2, Seed: seed})
+			return map[string]float64{
+				"smqavg": smq.MeanTopAvg, "smqmax": smq.MeanTopMax,
+				"betaavg": beta.MeanTopAvg, "betamax": beta.MeanTopMax}
+		})
+	}
+
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		ta := Table{
+			Title:  "Theorem 1(a) — mean removed rank vs queues n (psteal=1/8, B=1)",
+			Header: []string{"n", "MeanRank", "MaxRank", "TheoremBound"},
+		}
+		for i, n := range ns {
+			v := rs[aRefs[i]].Values
+			ta.AddRow(fmt.Sprint(n), fm(v["meanrank"]), fmt.Sprint(int(v["maxrank"])), fm(v["bound"]))
+		}
+		tb := Table{
+			Title:  "Theorem 1(b) — mean removed rank vs psteal (n=16, B=1)",
+			Header: []string{"psteal", "MeanRank", "MaxRank", "TheoremBound"},
+		}
+		for i, pr := range probs {
+			v := rs[bRefs[i]].Values
+			tb.AddRow(fmt.Sprintf("%.3g", pr), fm(v["meanrank"]), fmt.Sprint(int(v["maxrank"])), fm(v["bound"]))
+		}
+		tc := Table{
+			Title:  "Theorem 1(c) — mean removed rank vs batch B (n=16, psteal=1/8)",
+			Header: []string{"B", "MeanRank", "MaxRank", "TheoremBound"},
+		}
+		for i, b := range batches {
+			v := rs[cRefs[i]].Values
+			tc.AddRow(fmt.Sprint(b), fm(v["meanrank"]), fmt.Sprint(int(v["maxrank"])), fm(v["bound"]))
+		}
+		td := Table{
+			Title:  "Theorem 1(d) — scheduler unfairness γ (n=16, psteal=1/2, B=1)",
+			Header: []string{"gamma", "MeanRank", "MaxRank", "TheoremBound"},
+		}
+		for i, g := range gammas {
+			v := rs[dRefs[i]].Values
+			td.AddRow(fmt.Sprintf("%.3g", g), fm(v["meanrank"]), fmt.Sprint(int(v["maxrank"])), fm(v["bound"]))
+		}
+		tmq := Table{
+			Title:  "Classic Multi-Queue (= SMQ process at psteal=1) — mean removed rank vs m",
+			Header: []string{"m", "MeanRank", "MaxRank", "O(m) reference"},
+		}
+		for i, m := range mqs {
+			v := rs[mqRefs[i]].Values
+			tmq.AddRow(fmt.Sprint(m), fm(v["meanrank"]), fmt.Sprint(int(v["maxrank"])), fmt.Sprint(m))
+		}
+		te := Table{
+			Title:  "Appendix A — continuous SMQ vs (1+β) coupling (n=16, stationary top ranks)",
+			Header: []string{"psteal", "SMQ avg", "SMQ max", "β=p/2 avg", "β=p/2 max"},
+		}
+		for i, pr := range eProbs {
+			v := rs[eRefs[i]].Values
+			te.AddRow(fmt.Sprintf("%.3g", pr), fm(v["smqavg"]), fm(v["smqmax"]),
+				fm(v["betaavg"]), fm(v["betamax"]))
+		}
+		return []Table{ta, tb, tc, td, tmq, te}, nil
+	})
+	return p, nil
 }

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTSVRoundTrip pins the TSV format: write → parse → compare must be
+// lossless, both for a synthetic table set and for a real experiment's
+// rendered output.
+func TestTSVRoundTrip(t *testing.T) {
+	tables := []Table{
+		{
+			Title:  "Synthetic panel (a)",
+			Header: []string{"Scheduler", "Threads", "Time", "Speedup"},
+			Rows: [][]string{
+				{"SMQ SkipList", "4", "1.23ms", "3.8x"},
+				{"MQ Classic", "4", "2.00ms", "2.4x"},
+			},
+		},
+		{
+			Title:  "Empty data panel",
+			Header: []string{"K", "Value"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTables(&buf, tables, "tsv"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tables) {
+		t.Fatalf("round trip changed tables:\n got %+v\nwant %+v", got, tables)
+	}
+}
+
+func TestTSVRoundTripRealExperiment(t *testing.T) {
+	e, ok := Find("theory")
+	if !ok {
+		t.Fatal("theory experiment missing")
+	}
+	tables, err := e.Run(RunConfig{Scale: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTables(&buf, tables, "tsv"); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.Bytes()
+	parsed, err := ParseTSV(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, tables) {
+		t.Fatal("parsed tables differ from the experiment's output")
+	}
+	// Second write of the parsed tables reproduces the bytes exactly.
+	var buf2 bytes.Buffer
+	if err := WriteTables(&buf2, parsed, "tsv"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("re-written TSV differs from the original bytes")
+	}
+}
+
+func TestParseTSVRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"data outside a table":      "stray\n",
+		"missing blank terminator":  "# T\nH1\tH2\n1\t2\n",
+		"ragged row":                "# T\nH1\tH2\n1\t2\t3\n\n",
+		"table without header":      "# T\n\n",
+		"new table inside previous": "# T\nH\n# U\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}

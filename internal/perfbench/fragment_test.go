@@ -1,0 +1,193 @@
+package perfbench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mkFragReport(frag ExperimentFragment, host string) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		GeneratedBy:   "test",
+		GoVersion:     "go-test",
+		Host:          &HostInfo{Hostname: host, OS: "linux", Arch: "amd64", NumCPU: 4},
+		Experiments:   []ExperimentFragment{frag},
+	}
+}
+
+func cell(i int, status string) CellRecord {
+	c := CellRecord{Index: i, Key: "cell/" + string(rune('a'+i)), Kind: "measure",
+		Status: status, Seed: uint64(i + 1), Attempts: 1, Tasks: uint64(100 + i)}
+	if status != CellStatusOK {
+		c.Error = "deadline exceeded"
+	}
+	return c
+}
+
+func TestValidateFragment(t *testing.T) {
+	good := ExperimentFragment{Experiment: "fig1", Config: "c", TotalCells: 4,
+		Shard: &ShardInfo{Index: 0, Total: 2}, Cells: []CellRecord{cell(0, CellStatusOK), cell(2, CellStatusTimeout)}}
+	if err := validateFragment(&good); err != nil {
+		t.Fatalf("good fragment rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(f *ExperimentFragment)
+		want string
+	}{
+		{"empty experiment", func(f *ExperimentFragment) { f.Experiment = "" }, "empty experiment"},
+		{"empty config", func(f *ExperimentFragment) { f.Config = "" }, "config"},
+		{"zero total", func(f *ExperimentFragment) { f.TotalCells = 0 }, "total_cells"},
+		{"no cells", func(f *ExperimentFragment) { f.Cells = nil }, "no cells"},
+		{"dup index", func(f *ExperimentFragment) { f.Cells = []CellRecord{cell(1, CellStatusOK), cell(1, CellStatusOK)} }, "duplicate"},
+		{"out of range", func(f *ExperimentFragment) { f.Cells = []CellRecord{cell(9, CellStatusOK)} }, "outside"},
+		{"bad status", func(f *ExperimentFragment) { f.Cells[0].Status = "meh" }, "unknown status"},
+		{"timeout without error", func(f *ExperimentFragment) { f.Cells[1].Error = "" }, "without error message"},
+		{"bad shard", func(f *ExperimentFragment) { f.Shard = &ShardInfo{Index: 2, Total: 2} }, "out of range"},
+	}
+	for _, tc := range cases {
+		f := good
+		f.Cells = append([]CellRecord(nil), good.Cells...)
+		tc.mut(&f)
+		err := validateFragment(&f)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateReportWithFragment(t *testing.T) {
+	r := mkFragReport(ExperimentFragment{Experiment: "fig1", Config: "c", TotalCells: 2,
+		Cells: []CellRecord{cell(0, CellStatusOK), cell(1, CellStatusError)}}, "h1")
+	if err := Validate(r); err != nil {
+		t.Fatalf("fragment report rejected: %v", err)
+	}
+	r.SchemaVersion = 3
+	if err := Validate(r); err == nil {
+		t.Fatal("schema-3 report with experiments accepted")
+	}
+}
+
+// TestMergeCommutative is the order-independence contract: merging the
+// same fragments in any order yields byte-identical artifacts.
+func TestMergeCommutative(t *testing.T) {
+	a := mkFragReport(ExperimentFragment{Experiment: "fig1", Config: "c", TotalCells: 4,
+		Shard: &ShardInfo{Index: 0, Total: 2},
+		Cells: []CellRecord{cell(0, CellStatusOK), cell(2, CellStatusOK)}}, "hostB")
+	b := mkFragReport(ExperimentFragment{Experiment: "fig1", Config: "c", TotalCells: 4,
+		Shard: &ShardInfo{Index: 1, Total: 2},
+		Cells: []CellRecord{cell(1, CellStatusTimeout), cell(3, CellStatusOK)}}, "hostA")
+
+	ab, err := Merge([]*Report{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Merge([]*Report{b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abBytes, err := Marshal(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baBytes, err := Marshal(ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(abBytes, baBytes) {
+		t.Fatalf("merge not commutative:\n--- A,B ---\n%s\n--- B,A ---\n%s", abBytes, baBytes)
+	}
+
+	if len(ab.Experiments) != 1 || len(ab.Experiments[0].Cells) != 4 {
+		t.Fatalf("merged fragment wrong shape: %+v", ab.Experiments)
+	}
+	for i, c := range ab.Experiments[0].Cells {
+		if c.Index != i {
+			t.Fatalf("merged cells not in index order: %d at %d", c.Index, i)
+		}
+	}
+	if ab.Experiments[0].Cells[1].Status != CellStatusTimeout {
+		t.Fatal("timeout status lost in merge")
+	}
+	if len(ab.Hosts) != 2 || ab.Hosts[0].Hostname != "hostA" {
+		t.Fatalf("hosts not unioned/sorted: %+v", ab.Hosts)
+	}
+	if ab.Host != nil {
+		t.Fatal("merged report must clear the single-host fingerprint")
+	}
+	if ab.MergedFrom != 2 {
+		t.Fatalf("merged_from = %d", ab.MergedFrom)
+	}
+	if err := Validate(ab); err != nil {
+		t.Fatalf("merged report invalid: %v", err)
+	}
+}
+
+func TestMergeRejectsOverlapAndGaps(t *testing.T) {
+	a := mkFragReport(ExperimentFragment{Experiment: "fig1", Config: "c", TotalCells: 3,
+		Cells: []CellRecord{cell(0, CellStatusOK), cell(1, CellStatusOK)}}, "h")
+	dup := mkFragReport(ExperimentFragment{Experiment: "fig1", Config: "c", TotalCells: 3,
+		Cells: []CellRecord{cell(1, CellStatusOK), cell(2, CellStatusOK)}}, "h")
+	if _, err := Merge([]*Report{a, dup}); err == nil || !strings.Contains(err.Error(), "multiple fragments") {
+		t.Fatalf("overlap not rejected: %v", err)
+	}
+
+	gap := mkFragReport(ExperimentFragment{Experiment: "fig1", Config: "c", TotalCells: 3,
+		Cells: []CellRecord{cell(2, CellStatusOK)}}, "h")
+	if _, err := Merge([]*Report{a}); err == nil {
+		t.Fatal("incomplete grid not rejected")
+	}
+	merged, err := Merge([]*Report{a, gap})
+	if err != nil {
+		t.Fatalf("complete grid rejected: %v", err)
+	}
+	if !merged.Experiments[0].Complete() {
+		t.Fatal("merged fragment not marked complete")
+	}
+}
+
+func TestMergeKeepsDifferentConfigsApart(t *testing.T) {
+	a := mkFragReport(ExperimentFragment{Experiment: "fig1", Config: "c1", TotalCells: 1,
+		Cells: []CellRecord{cell(0, CellStatusOK)}}, "h")
+	b := mkFragReport(ExperimentFragment{Experiment: "fig1", Config: "c2", TotalCells: 1,
+		Cells: []CellRecord{cell(0, CellStatusOK)}}, "h")
+	m, err := Merge([]*Report{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Experiments) != 2 {
+		t.Fatalf("different configs collapsed: %+v", m.Experiments)
+	}
+}
+
+func TestMergeRejectsTotalCellsMismatch(t *testing.T) {
+	a := mkFragReport(ExperimentFragment{Experiment: "fig1", Config: "c", TotalCells: 2,
+		Cells: []CellRecord{cell(0, CellStatusOK)}}, "h")
+	b := mkFragReport(ExperimentFragment{Experiment: "fig1", Config: "c", TotalCells: 3,
+		Cells: []CellRecord{cell(1, CellStatusOK)}}, "h")
+	if _, err := Merge([]*Report{a, b}); err == nil || !strings.Contains(err.Error(), "total_cells") {
+		t.Fatalf("total_cells mismatch not rejected: %v", err)
+	}
+}
+
+func TestMergeRejectsDuplicateSchedulerResults(t *testing.T) {
+	mk := func() *Report {
+		return &Report{SchemaVersion: SchemaVersion, GeneratedBy: "t", GoVersion: "g",
+			Workers: 1, Prefill: 1, OpsPerWorker: 1, BatchSize: 1,
+			Results: []Result{{Scheduler: "smq", ThroughputOpsPerSec: 1, NsPerOp: 1,
+				BatchedThroughputOpsPerSec: 1, BatchedNsPerOp: 1,
+				PopP50Ns: 1, PopP99Ns: 2, PopP999Ns: 3}}}
+	}
+	if _, err := Merge([]*Report{mk(), mk()}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate result not rejected: %v", err)
+	}
+}
+
+func TestCollectHost(t *testing.T) {
+	h := CollectHost()
+	if h.Hostname == "" || h.OS == "" || h.Arch == "" || h.NumCPU < 1 {
+		t.Fatalf("incomplete host fingerprint: %+v", h)
+	}
+}

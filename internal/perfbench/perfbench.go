@@ -45,11 +45,17 @@ import (
 //	    percentiles, admission/shedding accounting, elastic-pool
 //	    activity and idle-service CPU). A version-3 report may carry
 //	    the microbenchmark results, the serve section, or both.
+//	4 — adds the sharded experiment artifact layer: a host fingerprint
+//	    ("host"/"hosts"), experiment fragments ("experiments" — per-cell
+//	    records with status ok/timeout/error and shard metadata), and
+//	    "merged_from" on reports produced by `benchcheck merge`. A
+//	    version-4 report may carry any non-empty combination of
+//	    Results / Serve / Experiments.
 //
-// Validate is version-gated: committed version-1 and version-2
-// trajectory files (BENCH_PR5.json and earlier) remain valid without
+// Validate is version-gated: committed version-1 through version-3
+// trajectory files (BENCH_PR6.json and earlier) remain valid without
 // the newer fields.
-const SchemaVersion = 3
+const SchemaVersion = 4
 
 // Report is the top-level JSON document.
 type Report struct {
@@ -76,6 +82,21 @@ type Report struct {
 	// generator. May be empty for microbenchmark-only reports; a
 	// version-3 report must carry at least one of Results / Serve.
 	Serve []ServeResult `json:"serve,omitempty"`
+
+	// Host fingerprints the machine that produced this report (schema
+	// >= 4). Merged reports clear it and list every contributing
+	// machine in Hosts instead.
+	Host  *HostInfo  `json:"host,omitempty"`
+	Hosts []HostInfo `json:"hosts,omitempty"`
+
+	// Experiments holds sharded experiment fragments (schema >= 4):
+	// per-cell records of harness experiment grids, produced by
+	// `smqbench -fragment` shards and combined by `benchcheck merge`.
+	Experiments []ExperimentFragment `json:"experiments,omitempty"`
+
+	// MergedFrom counts the fragments a merged report was built from
+	// (0 for reports written directly by a benchmark run).
+	MergedFrom int `json:"merged_from,omitempty"`
 }
 
 // ServeResult is one scheduler's open-loop serving run (schema >= 3):
@@ -279,6 +300,7 @@ func Run(cfg Config) (*Report, error) {
 	r := &Report{
 		SchemaVersion: SchemaVersion,
 		GeneratedBy:   "smqbench -json",
+		Host:          CollectHost(),
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Workers:       cfg.Workers,
@@ -541,11 +563,11 @@ func Validate(r *Report) error {
 	if r == nil {
 		return fmt.Errorf("perfbench: nil report")
 	}
-	// Version-gated: committed version-1 and version-2 trajectory files
-	// remain valid without the later fields; anything else must be the
-	// current schema.
-	if r.SchemaVersion != 1 && r.SchemaVersion != 2 && r.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("perfbench: schema_version = %d, want 1, 2 or %d", r.SchemaVersion, SchemaVersion)
+	// Version-gated: committed version-1 through version-3 trajectory
+	// files remain valid without the later fields; anything else must be
+	// the current schema.
+	if r.SchemaVersion < 1 || r.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("perfbench: schema_version = %d, want 1..%d", r.SchemaVersion, SchemaVersion)
 	}
 	if r.GoVersion == "" || r.GeneratedBy == "" {
 		return fmt.Errorf("perfbench: missing go_version / generated_by")
@@ -553,7 +575,10 @@ func Validate(r *Report) error {
 	if len(r.Serve) > 0 && r.SchemaVersion < 3 {
 		return fmt.Errorf("perfbench: serve section requires schema >= 3, got %d", r.SchemaVersion)
 	}
-	if len(r.Results) == 0 && len(r.Serve) == 0 {
+	if (len(r.Experiments) > 0 || r.Host != nil || len(r.Hosts) > 0) && r.SchemaVersion < 4 {
+		return fmt.Errorf("perfbench: experiments/host sections require schema >= 4, got %d", r.SchemaVersion)
+	}
+	if len(r.Results) == 0 && len(r.Serve) == 0 && len(r.Experiments) == 0 {
 		return fmt.Errorf("perfbench: no results")
 	}
 	if len(r.Results) > 0 {
@@ -601,6 +626,11 @@ func Validate(r *Report) error {
 			return fmt.Errorf("perfbench: duplicate serve scheduler %q", sr.Scheduler)
 		}
 		seenServe[sr.Scheduler] = true
+	}
+	for i := range r.Experiments {
+		if err := validateFragment(&r.Experiments[i]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

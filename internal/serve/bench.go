@@ -89,6 +89,7 @@ func RunBench(cfg BenchConfig) (*perfbench.Report, error) {
 	report := &perfbench.Report{
 		SchemaVersion: perfbench.SchemaVersion,
 		GeneratedBy:   cfg.GeneratedBy,
+		Host:          perfbench.CollectHost(),
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Seed:          cfg.Seed,

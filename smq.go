@@ -140,6 +140,33 @@
 // buffers. Algorithms built on these schedulers track in-flight work
 // with a Pending counter; see the SSSP and other drivers in this package
 // for the canonical pattern.
+//
+// # Running experiments
+//
+// cmd/smqbench regenerates the paper's tables and figures. Every
+// experiment is a deterministic enumeration of cells — one (scheduler,
+// workload, thread count, repetitions) measurement each, with a
+// per-cell RNG seed derived from the base -seed — so a grid can be
+// listed, split, and re-run cell by cell:
+//
+//	smqbench -exp fig2 -scale 1 -threads 1,2,4        # run in-process
+//	smqbench -exp fig2 -listcells                     # print the enumeration
+//	smqbench -exp fig2 -shard 0/2 -fragment f0.json   # run half the cells
+//	smqbench -exp fig2 -shard 1/2 -fragment f1.json   # ...the other half
+//	benchcheck merge -o merged.json f0.json f1.json   # recombine shards
+//	smqbench -exp fig2 -assemble merged.json          # render the tables
+//
+// Shards may run in different processes, on different machines, or as
+// CI matrix jobs: fragments are self-contained schema-versioned JSON
+// (internal/perfbench) carrying the experiment id, the run
+// configuration fingerprint, a host fingerprint and per-cell status
+// (ok, timeout or error), and merging is order-independent. Because
+// cell seeds depend only on the base seed and the cell's index, the
+// assembled tables are byte-identical (modulo timing fields) to an
+// in-process run. -celltimeout bounds each cell's wall clock (with
+// -cellretries bounded retry); -subproc re-execs the binary once per
+// cell so a hung cell is killed, not abandoned, and -cellprefix wraps
+// children in numactl/taskset for pinned measurements.
 package smq
 
 import (

@@ -125,10 +125,10 @@ func BenchmarkFig2_Comparison(b *testing.B) {
 	for _, spec := range harness.StandardSchedulers() {
 		spec := spec
 		b.Run("SSSP_road/"+spec.Name, func(b *testing.B) {
-			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, road)
+			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers, 0) }, road)
 		})
 		b.Run("SSSP_rmat/"+spec.Name, func(b *testing.B) {
-			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, rmat)
+			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers, 0) }, rmat)
 		})
 	}
 }
@@ -147,7 +147,7 @@ func BenchmarkFig2_BFS(b *testing.B) {
 				src := tc.g.MaxOutDegreeVertex()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					BFS(tc.g, src, spec.Make(benchWorkers))
+					BFS(tc.g, src, spec.Make(benchWorkers, 0))
 				}
 			})
 		}
@@ -161,7 +161,7 @@ func BenchmarkFig2_AStar(b *testing.B) {
 		spec := spec
 		b.Run(spec.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				AStar(road, 0, uint32(road.N-1), spec.Make(benchWorkers))
+				AStar(road, 0, uint32(road.N-1), spec.Make(benchWorkers, 0))
 			}
 		})
 	}
@@ -174,7 +174,7 @@ func BenchmarkFig2_MST(b *testing.B) {
 		spec := spec
 		b.Run(spec.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				BoruvkaMST(road, spec.Make(benchWorkers))
+				BoruvkaMST(road, spec.Make(benchWorkers, 0))
 			}
 		})
 	}
@@ -190,14 +190,14 @@ func BenchmarkFig3_OBIM_Tuning(b *testing.B) {
 		for _, chunk := range []int{8, 64} {
 			b.Run(fmt.Sprintf("OBIM/delta=%d/chunk=%d", delta, chunk), func(b *testing.B) {
 				benchSSSP(b, func() sched.Scheduler[uint32] {
-					return harness.OBIMSpec("OBIM", delta, chunk, false).Make(benchWorkers)
+					return harness.OBIMSpec("OBIM", delta, chunk, false).Make(benchWorkers, 0)
 				}, road)
 			})
 		}
 	}
 	b.Run("PMOD/adaptive", func(b *testing.B) {
 		benchSSSP(b, func() sched.Scheduler[uint32] {
-			return harness.OBIMSpec("PMOD", 10, 64, true).Make(benchWorkers)
+			return harness.OBIMSpec("PMOD", 10, 64, true).Make(benchWorkers, 0)
 		}, road)
 	})
 }
@@ -315,10 +315,10 @@ func BenchmarkEMQ_Throughput(b *testing.B) {
 	for _, spec := range specs {
 		spec := spec
 		b.Run("SSSP_road/"+spec.Name, func(b *testing.B) {
-			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, road)
+			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers, 0) }, road)
 		})
 		b.Run("SSSP_rmat/"+spec.Name, func(b *testing.B) {
-			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, rmat)
+			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers, 0) }, rmat)
 		})
 	}
 }
@@ -354,10 +354,10 @@ func BenchmarkKLSM_Throughput(b *testing.B) {
 	for _, spec := range specs {
 		spec := spec
 		b.Run("SSSP_road/"+spec.Name, func(b *testing.B) {
-			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, road)
+			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers, 0) }, road)
 		})
 		b.Run("SSSP_rmat/"+spec.Name, func(b *testing.B) {
-			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers) }, rmat)
+			benchSSSP(b, func() sched.Scheduler[uint32] { return spec.Make(benchWorkers, 0) }, rmat)
 		})
 	}
 }
@@ -398,7 +398,7 @@ func BenchmarkGeom_KNNGraph(b *testing.B) {
 				b.ReportAllocs()
 				var tasks uint64
 				for i := 0; i < b.N; i++ {
-					_, res := KNNGraph(tc.ps, benchKNN, spec.Make(benchWorkers))
+					_, res := KNNGraph(tc.ps, benchKNN, spec.Make(benchWorkers, 0))
 					tasks += res.Tasks
 				}
 				b.ReportMetric(float64(tasks)/float64(b.N), "tasks/op")
@@ -423,7 +423,7 @@ func BenchmarkGeom_EMST(b *testing.B) {
 			b.Run(tc.name+"/"+spec.Name, func(b *testing.B) {
 				var tasks uint64
 				for i := 0; i < b.N; i++ {
-					w, _, res := EuclideanMST(tc.ps, benchKNN, spec.Make(benchWorkers))
+					w, _, res := EuclideanMST(tc.ps, benchKNN, spec.Make(benchWorkers, 0))
 					if w != tc.want {
 						b.Fatalf("EMST weight %d, want %d", w, tc.want)
 					}

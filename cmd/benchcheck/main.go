@@ -57,8 +57,8 @@ func main() {
 	}
 	for _, path := range paths {
 		r := load(path)
-		fmt.Printf("%s: ok (schema %d, %d bench results, %d serve runs, %d experiment fragments)\n",
-			path, r.SchemaVersion, len(r.Results), len(r.Serve), len(r.Experiments))
+		fmt.Printf("%s: ok (schema %d, %d bench results, %d serve runs, %d desim runs, %d experiment fragments)\n",
+			path, r.SchemaVersion, len(r.Results), len(r.Serve), len(r.Desim), len(r.Experiments))
 	}
 }
 

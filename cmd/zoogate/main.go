@@ -13,6 +13,12 @@
 //   - a stale coverage entry with no matching root constructor means
 //     the list has drifted from the API and would mask the first case.
 //
+// It applies the same two-sided diff to the internal/zoo Spec registry
+// (the source of truth behind smq.Lineup and every by-name consumer):
+// a root constructor with no registered Spec would be invisible to the
+// harness, serving lineup, and simulator, and a Spec naming a
+// constructor the root package no longer exports is registry drift.
+//
 // The in-package test TestZooGateCoverageConsistent closes the loop on
 // the other side: every name in rootConstructorsCovered must be claimed
 // by a conformance case's covers field, so the list cannot be padded
@@ -35,6 +41,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/zoo"
 )
 
 // conformancePath is where the coverage list lives, relative to the
@@ -62,8 +70,9 @@ func main() {
 	}
 
 	missing, stale := diffCoverage(constructors, covered)
-	if len(missing) == 0 && len(stale) == 0 {
-		fmt.Printf("zoogate: OK — %d scheduler constructors, all in the conformance lineup (%s)\n",
+	unspecced, drifted := diffSpecs(constructors, zoo.Constructors())
+	if len(missing) == 0 && len(stale) == 0 && len(unspecced) == 0 && len(drifted) == 0 {
+		fmt.Printf("zoogate: OK — %d scheduler constructors, all in the conformance lineup (%s) and the zoo Spec registry\n",
 			len(constructors), conformancePath)
 		return
 	}
@@ -79,7 +88,53 @@ func main() {
 				"remove the stale entry\n",
 			name, coverageListName)
 	}
+	for _, name := range unspecced {
+		fmt.Fprintf(os.Stderr,
+			"zoogate: %s is exported by the root package but no internal/zoo Spec wraps it — "+
+				"register a Spec so the constructor is reachable by name (smq.Lineup, harness, smqsim)\n",
+			name)
+	}
+	for _, d := range drifted {
+		fmt.Fprintf(os.Stderr,
+			"zoogate: zoo Spec %q claims constructor %s, which the root package does not export — "+
+				"fix the registry entry\n",
+			d.spec, d.constructor)
+	}
 	os.Exit(1)
+}
+
+// specDrift names a registry entry whose claimed constructor no longer
+// exists in the root package.
+type specDrift struct{ spec, constructor string }
+
+// diffSpecs compares the exported constructor set against the zoo Spec
+// registry's constructor claims: unspecced constructors have no Spec
+// wrapping them, drifted entries claim a constructor that is gone. A
+// spec with an empty Constructor wraps an internal-only scheduler (the
+// coarse strawman) and makes no claim either way.
+func diffSpecs(constructors []string, specs map[string]string) (unspecced []string, drifted []specDrift) {
+	exported := map[string]bool{}
+	for _, c := range constructors {
+		exported[c] = true
+	}
+	wrapped := map[string]bool{}
+	for name, ctor := range specs {
+		if ctor == "" {
+			continue
+		}
+		wrapped[ctor] = true
+		if !exported[ctor] {
+			drifted = append(drifted, specDrift{spec: name, constructor: ctor})
+		}
+	}
+	for _, c := range constructors {
+		if !wrapped[c] {
+			unspecced = append(unspecced, c)
+		}
+	}
+	sort.Strings(unspecced)
+	sort.Slice(drifted, func(i, j int) bool { return drifted[i].spec < drifted[j].spec })
+	return unspecced, drifted
 }
 
 func fatal(err error) {

@@ -1,88 +1,77 @@
-// Discrete-event simulation: a non-graph workload for the SMQ. Events
-// are ordered by timestamp (priority = time); handling one event may
-// schedule future events. M/M/1-style queueing stations are simulated in
-// parallel — each station's events must be processed in rough time order
-// for the statistics to converge, which is exactly a relaxed priority
-// scheduler's sweet spot: small reorderings are tolerable, strict global
-// order would serialize everything.
+// Discrete-event simulation through the named-scheduler zoo: the
+// internal/desim engine runs a simulated serving cluster on any
+// scheduler looked up by name (smq.LookupSpec), with the causality
+// window derived from the scheduler's own rank-error bound. Compare
+//
+//	go run ./examples/desim -scheduler klsm     // exact worst-case bound
+//	go run ./examples/desim -scheduler smq      // expectation-scale bound
+//	go run ./examples/desim -scheduler obim     // no bound: runs unchecked
+//
+// Every scheduler must print the same checksum and per-tenant sojourn
+// percentiles — relaxation reorders event execution, never simulated
+// outcomes — while violations/lead show how hard each scheduler leans
+// on its lookahead window.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
-	"sync/atomic"
 
 	smq "repro"
-	"repro/internal/xrand"
+	"repro/internal/desim"
 )
 
-// event encodes (station, kind): arrivals spawn the next arrival plus a
-// departure; departures just free the server.
-type event struct {
-	station uint32
-	arrival bool
-}
-
 func main() {
-	stations := flag.Int("stations", 64, "number of queueing stations")
-	horizon := flag.Uint64("horizon", 200000, "simulation end time (ticks)")
+	name := flag.String("scheduler", "smq", "zoo scheduler name (see smq.SpecNames)")
+	stations := flag.Int("stations", 64, "number of service stations")
+	arrivals := flag.Int("arrivals", 2000, "arrivals per station")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
+	seed := flag.Uint64("seed", 7, "simulation seed")
 	flag.Parse()
 
-	s := smq.NewStealingMQ[event](smq.SMQConfig{Workers: *workers})
+	spec, ok := smq.LookupSpec[desim.Event](*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q; known: %v\n", *name, smq.SpecNames())
+		os.Exit(2)
+	}
+	bound, exact := spec.RankBound(*workers)
 
-	arrivals := make([]atomic.Int64, *stations)
-	departures := make([]atomic.Int64, *stations)
-	var processed atomic.Int64
-
-	// Per-worker RNG; station parameters derived from station id.
-	rngs := make([]*xrand.Rand, *workers)
-	for i := range rngs {
-		rngs[i] = xrand.New(uint64(i + 1))
+	model, err := desim.NewCluster(desim.ClusterConfig{
+		Stations:           *stations,
+		ArrivalsPerStation: *arrivals,
+		Workers:            *workers,
+		Seed:               *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
-	interarrival := func(rng *xrand.Rand) uint64 { return 50 + uint64(rng.Intn(100)) }
-	service := func(rng *xrand.Rand) uint64 { return 20 + uint64(rng.Intn(60)) }
-
-	smq.Process(s,
-		func(w smq.Worker[event]) {
-			for st := 0; st < *stations; st++ {
-				w.Push(uint64(st%997), event{station: uint32(st), arrival: true})
-			}
-		},
-		func(wid int, w smq.Worker[event], pending *smq.Pending, now uint64, ev event) {
-			processed.Add(1)
-			rng := rngs[wid]
-			if !ev.arrival {
-				departures[ev.station].Add(1)
-				return
-			}
-			arrivals[ev.station].Add(1)
-			// Schedule this customer's departure.
-			if dep := now + service(rng); dep < *horizon {
-				pending.Inc(1)
-				w.Push(dep, event{station: ev.station, arrival: false})
-			}
-			// Schedule the next arrival at this station.
-			if next := now + interarrival(rng); next < *horizon {
-				pending.Inc(1)
-				w.Push(next, event{station: ev.station, arrival: true})
-			}
-		})
-
-	var totalArr, totalDep int64
-	for i := 0; i < *stations; i++ {
-		totalArr += arrivals[i].Load()
-		totalDep += departures[i].Load()
+	lookahead := bound // negative bound = unchecked, which Run treats the same way
+	stats, err := desim.Run(spec.Build(*workers, *seed), model, desim.Config{
+		Workers:   *workers,
+		Lookahead: lookahead,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	st := s.Stats()
-	fmt.Printf("simulated %d stations to t=%d with %d workers\n", *stations, *horizon, *workers)
-	fmt.Printf("events processed: %d (arrivals %d, departures %d)\n", processed.Load(), totalArr, totalDep)
-	fmt.Printf("scheduler: %d pushes, %d steals (%d tasks)\n", st.Pushes, st.Steals, st.StolenTask)
-	if totalDep > totalArr {
-		fmt.Println("ERROR: more departures than arrivals — causality violated")
+
+	fmt.Printf("%s: %d events, checksum %#x\n", spec.Name, stats.Events, model.Checksum())
+	if bound >= 0 {
+		kind := "expected"
+		if exact {
+			kind = "worst-case"
+		}
+		fmt.Printf("window: %s rank bound %d — %d causality violations, max lead %d, mean lead %.1f\n",
+			kind, bound, stats.Violations, stats.MaxLead, stats.MeanLead)
 	} else {
-		fmt.Println("causality check passed: departures <= arrivals per construction")
+		fmt.Println("window: no usable rank bound — ran unchecked")
+	}
+	for _, t := range model.PerTenant() {
+		fmt.Printf("tenant %d: %6d completed, sojourn p50=%d p99=%d p99.9=%d ticks\n",
+			t.Tenant, t.Completed, t.P50, t.P99, t.P999)
 	}
 }

@@ -43,14 +43,35 @@ type worker[T any] struct {
 	c *sched.Counters
 }
 
+// Validate reports whether the configuration can build a scheduler:
+// Workers must be positive and HeapArity zero (default) or a real
+// fan-out. New panics with exactly this error on an invalid
+// configuration, so callers that must not panic validate first.
+func (c Config) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("coarse: Config.Workers = %d, must be positive", c.Workers)
+	}
+	if c.HeapArity < 0 || c.HeapArity == 1 {
+		return fmt.Errorf("coarse: Config.HeapArity = %d, must be 0 (default) or >= 2", c.HeapArity)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with the zero HeapArity replaced by the
+// default fan-out. Construction applies it after Validate.
+func (c Config) withDefaults() Config {
+	if c.HeapArity == 0 {
+		c.HeapArity = pq.DefaultArity
+	}
+	return c
+}
+
 // New builds a coarse-locked scheduler.
 func New[T any](cfg Config) *Sched[T] {
-	if cfg.Workers <= 0 {
-		panic("coarse: Config.Workers must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
-	if cfg.HeapArity < 2 {
-		cfg.HeapArity = pq.DefaultArity
-	}
+	cfg = cfg.withDefaults()
 	s := &Sched[T]{
 		cfg:      cfg,
 		heap:     pq.NewDHeapCap[T](cfg.HeapArity, 1024),

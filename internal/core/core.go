@@ -78,11 +78,44 @@ type Config struct {
 	InsertBatch int
 }
 
-func (c *Config) normalize() {
+// Validate reports whether the configuration can build a scheduler:
+// Workers must be positive and every set field within its documented
+// domain (zero values select defaults; a negative StealProb is the
+// documented "never steal eagerly" setting). New panics with exactly
+// this error on an invalid configuration, so callers that must not
+// panic validate first.
+func (c Config) Validate() error {
 	if c.Workers <= 0 {
-		panic("core: Config.Workers must be positive")
+		return fmt.Errorf("core: Config.Workers = %d, must be positive", c.Workers)
 	}
-	if c.StealSize <= 0 {
+	if c.StealSize < 0 {
+		return fmt.Errorf("core: Config.StealSize = %d, must be >= 0", c.StealSize)
+	}
+	if c.StealProb > 1 {
+		return fmt.Errorf("core: Config.StealProb = %g, must be a probability <= 1", c.StealProb)
+	}
+	if c.HeapArity < 0 || c.HeapArity == 1 {
+		return fmt.Errorf("core: Config.HeapArity = %d, must be 0 (default) or >= 2", c.HeapArity)
+	}
+	if c.NUMANodes < 0 {
+		return fmt.Errorf("core: Config.NUMANodes = %d, must be >= 0", c.NUMANodes)
+	}
+	if c.NUMAWeightK < 0 {
+		return fmt.Errorf("core: Config.NUMAWeightK = %g, must be >= 0", c.NUMAWeightK)
+	}
+	if c.StealTries < 0 {
+		return fmt.Errorf("core: Config.StealTries = %d, must be >= 0", c.StealTries)
+	}
+	if c.InsertBatch < 0 {
+		return fmt.Errorf("core: Config.InsertBatch = %d, must be >= 0", c.InsertBatch)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with every zero-valued field replaced by
+// its documented default. Construction applies it after Validate.
+func (c Config) withDefaults() Config {
+	if c.StealSize == 0 {
 		c.StealSize = 4
 	}
 	if c.StealProb == 0 {
@@ -91,21 +124,29 @@ func (c *Config) normalize() {
 	if c.StealProb < 0 {
 		c.StealProb = 0
 	}
-	if c.HeapArity < 2 {
+	if c.HeapArity == 0 {
 		c.HeapArity = pq.DefaultArity
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	if c.NUMAWeightK <= 0 {
+	if c.NUMAWeightK == 0 {
 		c.NUMAWeightK = 8
 	}
-	if c.StealTries <= 0 {
+	if c.StealTries == 0 {
 		c.StealTries = 2 * c.Workers
 	}
 	if c.InsertBatch < 1 {
 		c.InsertBatch = 1
 	}
+	return c
+}
+
+func (c *Config) normalize() {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
+	}
+	*c = c.withDefaults()
 }
 
 // stealQueue is the contract between the generic SMQ worker logic and the

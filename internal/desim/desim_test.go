@@ -1,0 +1,269 @@
+package desim
+
+import (
+	"testing"
+
+	"repro/internal/klsm"
+	"repro/internal/zoo"
+)
+
+func TestWindowPrefixCounts(t *testing.T) {
+	w := newWindow(1 << 12)
+	if w.bucketWidth() != 1 {
+		t.Fatalf("small horizon should get 1-wide buckets, got %d", w.bucketWidth())
+	}
+	for _, ts := range []uint64{0, 1, 1, 5, 100, 4096} {
+		w.Register(ts)
+	}
+	cases := []struct {
+		t    uint64
+		want int64
+	}{
+		{0, 0},   // own bucket excluded
+		{1, 1},   // just ts=0
+		{2, 3},   // 0,1,1
+		{5, 3},   // own bucket excluded again
+		{6, 4},   // 0,1,1,5
+		{101, 5}, // all but the horizon event
+		// 5000 clamps into the same last bucket as the ts=4096 event,
+		// and own-bucket events never count — clamping is lenient.
+		{5000, 5},
+	}
+	for _, c := range cases {
+		if got := w.Before(c.t); got != c.want {
+			t.Errorf("Before(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	w.Unregister(1)
+	if got := w.Before(2); got != 2 {
+		t.Errorf("after Unregister(1): Before(2) = %d, want 2", got)
+	}
+}
+
+func TestWindowCapsBucketCount(t *testing.T) {
+	w := newWindow(1 << 40)
+	if len(w.tree) > maxWindowBuckets {
+		t.Fatalf("tree has %d buckets, cap is %d", len(w.tree), maxWindowBuckets)
+	}
+	if w.bucketWidth() == 1 {
+		t.Fatal("wide horizon should coarsen buckets")
+	}
+	w.Register(1 << 39)
+	if got := w.Before(1 << 41); got != 1 {
+		t.Fatalf("Before past horizon = %d, want 1", got)
+	}
+}
+
+// testCluster builds a small cluster (fresh per call — models are
+// single-use).
+func testCluster(t *testing.T, workers int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{
+		Stations: 16, ArrivalsPerStation: 400, Workers: workers, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClusterIdenticalAcrossSchedulers is the engine's core claim: the
+// cluster model's outcome — completions, checksum, per-tenant sojourn
+// percentiles — is event-for-event identical whatever scheduler runs
+// it, because all cross-event state is either chain-sequential or
+// commutative. The exact coarse queue is the baseline; every relaxed
+// scheduler must match it bit for bit.
+func TestClusterIdenticalAcrossSchedulers(t *testing.T) {
+	const workers = 4
+	base := testCluster(t, workers)
+	spec, _ := zoo.Lookup[Event]("coarse")
+	st, err := Run(spec.Build(workers, 7), base, Config{Workers: workers, Lookahead: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != base.Events() {
+		t.Fatalf("coarse executed %d events, want %d", st.Events, base.Events())
+	}
+	wantSum := base.Checksum()
+	wantTenants := base.PerTenant()
+
+	for _, name := range []string{"smq", "mq", "emq", "klsm", "spray", "obim"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := testCluster(t, workers)
+			spec, ok := zoo.Lookup[Event](name)
+			if !ok {
+				t.Fatalf("zoo has no %q", name)
+			}
+			// Unchecked run: this test is about model identity, not
+			// the causality window.
+			st, err := Run(spec.Build(workers, 7), m, Config{Workers: workers, Lookahead: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Events != base.Events() {
+				t.Fatalf("executed %d events, want %d", st.Events, base.Events())
+			}
+			if got := m.Checksum(); got != wantSum {
+				t.Fatalf("checksum %#x, want coarse baseline %#x", got, wantSum)
+			}
+			for i, ten := range m.PerTenant() {
+				if ten != wantTenants[i] {
+					t.Fatalf("tenant %d = %+v, want %+v", i, ten, wantTenants[i])
+				}
+			}
+		})
+	}
+}
+
+// TestKLSMWithinWorstCaseBound is the tentpole's safety regression: a
+// k-LSM checked with its worst-case window (P−1)·k+P must report ZERO
+// causality violations, and the simulated outcome must equal the exact
+// baseline. The k-LSM bound is a hard guarantee, not an expectation, so
+// any nonzero count here is a bug in the scheduler or the window.
+func TestKLSMWithinWorstCaseBound(t *testing.T) {
+	const workers = 4
+	spec, _ := zoo.Lookup[Event]("klsm")
+	bound, exact := spec.RankBound(workers)
+	if !exact {
+		t.Fatal("klsm bound must be exact")
+	}
+	if want := int64(workers-1)*int64(klsm.DefaultRelaxation) + int64(workers); bound != want {
+		t.Fatalf("klsm bound = %d, want %d", bound, want)
+	}
+
+	base := testCluster(t, workers)
+	cs, _ := zoo.Lookup[Event]("coarse")
+	if _, err := Run(cs.Build(workers, 7), base, Config{Workers: workers, Lookahead: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	m := testCluster(t, workers)
+	st, err := Run(spec.Build(workers, 7), m, Config{Workers: workers, Lookahead: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("k-LSM reported %d causality violations inside its worst-case window %d (max lead %d)",
+			st.Violations, bound, st.MaxLead)
+	}
+	if m.Checksum() != base.Checksum() {
+		t.Fatalf("k-LSM checksum %#x != coarse %#x", m.Checksum(), base.Checksum())
+	}
+}
+
+// TestCoarseWithinZeroBound: the exact queue with a zero-width window
+// must also be violation-free — the threshold slack alone absorbs the
+// concurrency blur.
+func TestCoarseWithinZeroBound(t *testing.T) {
+	const workers = 4
+	m := testCluster(t, workers)
+	spec, _ := zoo.Lookup[Event]("coarse")
+	st, err := Run(spec.Build(workers, 7), m, Config{Workers: workers, Lookahead: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("exact queue reported %d violations (max lead %d)", st.Violations, st.MaxLead)
+	}
+}
+
+// TestBelowBoundViolationsDetected drives a relaxed scheduler with a
+// window far below its actual relaxation and requires the check to
+// notice. One worker makes the run deterministic: a classic Multi-Queue
+// spreads tasks over C·1 = 4 internal queues and pops from a 2-sample,
+// so out-of-window pops are structural, not a race artifact.
+func TestBelowBoundViolationsDetected(t *testing.T) {
+	m := testCluster(t, 1)
+	spec, _ := zoo.Lookup[Event]("mq")
+	st, err := Run(spec.Build(1, 7), m, Config{Workers: 1, Lookahead: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations == 0 {
+		t.Fatalf("classic MQ with a zero window reported no violations (max lead %d, mean %g) — the causality check is dead",
+			st.MaxLead, st.MeanLead)
+	}
+	// The model contract still holds — relaxation reorders execution,
+	// it must not change the simulated outcome.
+	base := testCluster(t, 1)
+	cs, _ := zoo.Lookup[Event]("coarse")
+	if _, err := Run(cs.Build(1, 7), base, Config{Workers: 1, Lookahead: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Checksum() != base.Checksum() {
+		t.Fatalf("checksum diverged under relaxation: %#x != %#x", m.Checksum(), base.Checksum())
+	}
+}
+
+func TestDAGMakespanIdenticalAcrossSchedulers(t *testing.T) {
+	const workers = 4
+	newDAG := func() *DAG {
+		d, err := NewDAG(DAGConfig{Layers: 64, Width: 64, Workers: workers, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	base := newDAG()
+	cs, _ := zoo.Lookup[Event]("coarse")
+	st, err := Run(cs.Build(workers, 11), base, Config{Workers: workers, Lookahead: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != base.Events() {
+		t.Fatalf("executed %d events, want %d", st.Events, base.Events())
+	}
+	if base.Makespan() == 0 {
+		t.Fatal("zero makespan")
+	}
+	for _, name := range []string{"smq", "klsm", "obim"} {
+		m := newDAG()
+		spec, _ := zoo.Lookup[Event](name)
+		if _, err := Run(spec.Build(workers, 11), m, Config{Workers: workers, Lookahead: -1}); err != nil {
+			t.Fatal(err)
+		}
+		if m.Makespan() != base.Makespan() {
+			t.Fatalf("%s makespan %d != coarse %d", name, m.Makespan(), base.Makespan())
+		}
+		if m.Checksum() != base.Checksum() {
+			t.Fatalf("%s checksum %#x != coarse %#x", name, m.Checksum(), base.Checksum())
+		}
+	}
+}
+
+func TestRunOneUnknownScheduler(t *testing.T) {
+	if _, err := RunOne("definitely-not-a-scheduler", "cluster", BenchConfig{Workers: 2}); err == nil {
+		t.Fatal("want error for unknown scheduler")
+	}
+	if _, err := RunOne("smq", "not-a-model", BenchConfig{Workers: 2}); err == nil {
+		t.Fatal("want error for unknown model")
+	}
+}
+
+// TestRunBenchSmoke runs a tiny grid end to end and checks the report
+// validates — the same path CI's desim smoke uses.
+func TestRunBenchSmoke(t *testing.T) {
+	r, err := RunBench(BenchConfig{
+		Workers:    2,
+		Schedulers: []string{"coarse", "smq", "klsm"},
+		Models:     []string{"cluster", "dag"},
+		Events:     40_000,
+		Layers:     32, Width: 32,
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Desim) != 6 {
+		t.Fatalf("got %d desim results, want 6", len(r.Desim))
+	}
+	for _, dr := range r.Desim {
+		if dr.Scheduler == "klsm" && dr.Violations != 0 {
+			t.Fatalf("klsm %s run has %d violations", dr.Model, dr.Violations)
+		}
+		if dr.Scheduler == "coarse" && dr.Model == "cluster" && len(dr.PerTenant) == 0 {
+			t.Fatal("cluster run missing per-tenant section")
+		}
+	}
+}

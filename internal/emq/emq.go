@@ -86,31 +86,71 @@ type Config struct {
 	NUMAWeightK float64
 }
 
-func (c *Config) normalize() {
+// Validate reports whether the configuration can build a scheduler:
+// Workers must be positive and every set field within its documented
+// domain (zero values select defaults). New panics with exactly this
+// error on an invalid configuration, so callers that must not panic
+// validate first.
+func (c Config) Validate() error {
 	if c.Workers <= 0 {
-		panic("emq: Config.Workers must be positive")
+		return fmt.Errorf("emq: Config.Workers = %d, must be positive", c.Workers)
 	}
-	if c.C <= 0 {
+	if c.C < 0 {
+		return fmt.Errorf("emq: Config.C = %d, must be >= 0", c.C)
+	}
+	if c.Stickiness < 0 {
+		return fmt.Errorf("emq: Config.Stickiness = %d, must be >= 0", c.Stickiness)
+	}
+	if c.InsertBuffer < 0 {
+		return fmt.Errorf("emq: Config.InsertBuffer = %d, must be >= 0", c.InsertBuffer)
+	}
+	if c.DeleteBuffer < 0 {
+		return fmt.Errorf("emq: Config.DeleteBuffer = %d, must be >= 0", c.DeleteBuffer)
+	}
+	if c.HeapArity < 0 || c.HeapArity == 1 {
+		return fmt.Errorf("emq: Config.HeapArity = %d, must be 0 (default) or >= 2", c.HeapArity)
+	}
+	if c.NUMANodes < 0 {
+		return fmt.Errorf("emq: Config.NUMANodes = %d, must be >= 0", c.NUMANodes)
+	}
+	if c.NUMAWeightK < 0 {
+		return fmt.Errorf("emq: Config.NUMAWeightK = %g, must be >= 0", c.NUMAWeightK)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with every zero-valued field replaced by
+// its documented default. Construction applies it after Validate.
+func (c Config) withDefaults() Config {
+	if c.C == 0 {
 		c.C = 2
 	}
-	if c.Stickiness <= 0 {
+	if c.Stickiness == 0 {
 		c.Stickiness = 16
 	}
-	if c.InsertBuffer <= 0 {
+	if c.InsertBuffer == 0 {
 		c.InsertBuffer = 16
 	}
-	if c.DeleteBuffer <= 0 {
+	if c.DeleteBuffer == 0 {
 		c.DeleteBuffer = 16
 	}
-	if c.HeapArity < 2 {
+	if c.HeapArity == 0 {
 		c.HeapArity = 8
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	if c.NUMAWeightK <= 0 {
+	if c.NUMAWeightK == 0 {
 		c.NUMAWeightK = 8
 	}
+	return c
+}
+
+func (c *Config) normalize() {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
+	}
+	*c = c.withDefaults()
 }
 
 // lockQueue is one of the m sequential heaps behind a try-lock. The

@@ -45,6 +45,7 @@ var goldenEnum = map[string]struct {
 	"geom":      {cells: 72, hash: "3922bfd96a568648"},
 	"numa":      {cells: 124, hash: "a2fbbd07798282a7"},
 	"serve":     {cells: 15, hash: "9818131c5544fa79"},
+	"desim":     {cells: 10, hash: "af94559d8d2b4efe"},
 	"theory":    {cells: 26, hash: "ae60b34c87d6154d"},
 	"rankprobe": {cells: 24, hash: "a14955b609c11024"},
 }

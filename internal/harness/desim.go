@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/desim"
+)
+
+// planDesim is the discrete-event simulation experiment: a scheduler ×
+// model grid through internal/desim, reporting event throughput, the
+// safe-lookahead window each scheduler's rank-error bound grants, and
+// the causality accounting against that window. It is the paper's
+// rank-error theory run in the other direction: instead of measuring
+// how relaxed a scheduler is, it asks how much useful parallel work a
+// known relaxation bound licenses.
+func planDesim(cfg RunConfig) (*Plan, error) {
+	p := NewPlan("desim", cfg)
+	schedulers := []string{"coarse", "mq", "smq", "klsm", "obim"}
+	models := []string{"cluster", "dag"}
+	workers := p.Config.MaxThreads
+	events := 100_000 * p.Config.Scale
+
+	var refs []int
+	for _, model := range models {
+		for _, name := range schedulers {
+			model, name := model, name
+			refs = append(refs, p.AddCell(Cell{
+				Kind:      "desim",
+				Key:       fmt.Sprintf("desim/%s/%s", model, name),
+				Scheduler: name,
+				Params:    "model=" + model,
+				Threads:   workers,
+			}, func(c Cell) (CellResult, error) {
+				dr, err := desim.RunOne(name, model, desim.BenchConfig{
+					Workers: workers,
+					Events:  events,
+					Layers:  64 * p.Config.Scale,
+					Seed:    c.Seed,
+				})
+				if err != nil {
+					return CellResult{}, err
+				}
+				return CellResult{
+					Tasks: dr.Events,
+					Values: map[string]float64{
+						"eps":        dr.EventsPerSec,
+						"events":     float64(dr.Events),
+						"bound":      float64(dr.RankBound),
+						"exact":      b2f(dr.BoundExact),
+						"lookahead":  float64(dr.Lookahead),
+						"violations": float64(dr.Violations),
+						"maxlead":    float64(dr.MaxLead),
+						"meanlead":   dr.MeanLead,
+					},
+				}, nil
+			}))
+		}
+	}
+
+	p.SetAssemble(func(rs []CellResult) ([]Table, error) {
+		t := Table{
+			Title: fmt.Sprintf("Discrete-event simulation — scheduler × model (%d workers, window = rank bound)", workers),
+			Header: []string{"Model", "Scheduler", "Events", "Events/s", "Bound", "Exact",
+				"Violations", "MaxLead", "MeanLead"},
+		}
+		i := 0
+		for _, model := range models {
+			for _, name := range schedulers {
+				v := rs[refs[i]].Values
+				i++
+				bound := "—"
+				if v["bound"] >= 0 {
+					bound = fmt.Sprint(int64(v["bound"]))
+				}
+				t.AddRow(model, name,
+					fmt.Sprint(int64(v["events"])), fmt.Sprintf("%.3g", v["eps"]),
+					bound, fmt.Sprint(v["exact"] != 0),
+					fmt.Sprint(int64(v["violations"])), fmt.Sprint(int64(v["maxlead"])),
+					fm(v["meanlead"]))
+			}
+		}
+		return []Table{t}, nil
+	})
+	return p, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/obim"
 	"repro/internal/sched"
 	"repro/internal/spray"
+	"repro/internal/zoo"
 )
 
 // AlgoKind names a benchmark algorithm.
@@ -179,26 +180,13 @@ func QuickWorkloads(scale int) []*Workload {
 	}
 }
 
-// SchedulerSpec is a named scheduler factory.
-type SchedulerSpec struct {
-	Name   string
-	Params string // human-readable parameter summary
-	Make   func(workers int) sched.Scheduler[uint32]
-	// MakeSeeded, when set, builds the scheduler with an explicit RNG
-	// seed so a cell reproduces identically across processes. Specs for
-	// schedulers without a seed knob (k-LSM, coarse) leave it nil.
-	MakeSeeded func(workers int, seed uint64) sched.Scheduler[uint32]
-}
-
-// Build constructs the scheduler, threading the seed through when the
-// spec supports it. Seed 0 (or no MakeSeeded) falls back to Make's
-// default seeding.
-func (s SchedulerSpec) Build(workers int, seed uint64) sched.Scheduler[uint32] {
-	if seed != 0 && s.MakeSeeded != nil {
-		return s.MakeSeeded(workers, seed)
-	}
-	return s.Make(workers)
-}
+// SchedulerSpec is a named scheduler factory over uint32 payloads: the
+// zoo's public Spec instantiated at the graph-vertex payload type. The
+// experiment lineups below construct parameterized variants (tuned
+// steal sizes, NUMA placements) of the registry's schedulers; the
+// canonical default-configured specs live in internal/zoo and are
+// re-exported at the repository root as smq.Spec / smq.Lineup.
+type SchedulerSpec = zoo.Spec[uint32]
 
 // StandardSchedulers is the Figure 2 lineup — SMQ default + tuned, the
 // skip-list SMQ, the optimized NUMA-aware classic MQ, OBIM, PMOD,
@@ -215,23 +203,14 @@ func StandardSchedulers() []SchedulerSpec {
 		{
 			Name:   "SMQ SkipList",
 			Params: "steal=4 psteal=1/8",
-			Make: func(workers int) sched.Scheduler[uint32] {
-				return core.NewStealingMQSkipList[uint32](core.Config{Workers: workers})
-			},
-			MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 				return core.NewStealingMQSkipList[uint32](core.Config{Workers: workers, Seed: seed})
 			},
 		},
 		{
 			Name:   "MQ Optimized",
 			Params: "C=4 ins=batch8 del=batch8 numa",
-			Make: func(workers int) sched.Scheduler[uint32] {
-				return mq.New[uint32](mq.Config{Workers: workers, C: 4,
-					Insert: mq.InsertBatch, BatchInsert: 8,
-					Delete: mq.DeleteBatch, BatchDelete: 8,
-					NUMANodes: 2, NUMAWeightK: 8})
-			},
-			MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 				return mq.New[uint32](mq.Config{Workers: workers, C: 4,
 					Insert: mq.InsertBatch, BatchInsert: 8,
 					Delete: mq.DeleteBatch, BatchDelete: 8,
@@ -241,14 +220,7 @@ func StandardSchedulers() []SchedulerSpec {
 		{
 			Name:   "MQ Classic",
 			Params: "C=4",
-			Make: func(workers int) sched.Scheduler[uint32] {
-				return mq.New[uint32](mq.Classic(workers, 4))
-			},
-			MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
-				c := mq.Classic(workers, 4)
-				c.Seed = seed
-				return mq.New[uint32](c)
-			},
+			Make:   ClassicMQBaseline,
 		},
 		EMQSpec("EMQ", 16, 16, 0),
 		KLSMSpec("kLSM", 256),
@@ -257,20 +229,14 @@ func StandardSchedulers() []SchedulerSpec {
 		{
 			Name:   "SprayList",
 			Params: "default spray",
-			Make: func(workers int) sched.Scheduler[uint32] {
-				return spray.New[uint32](spray.Config{Workers: workers})
-			},
-			MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 				return spray.New[uint32](spray.Config{Workers: workers, Seed: seed})
 			},
 		},
 		{
 			Name:   "RELD",
 			Params: "local dequeue",
-			Make: func(workers int) sched.Scheduler[uint32] {
-				return mq.New[uint32](mq.RELD(workers))
-			},
-			MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 				c := mq.RELD(workers)
 				c.Seed = seed
 				return mq.New[uint32](c)
@@ -287,9 +253,10 @@ func AllSchedulers() []SchedulerSpec {
 	return append(StandardSchedulers(), SchedulerSpec{
 		Name:   "CoarseLock",
 		Params: "single global heap",
-		Make: func(workers int) sched.Scheduler[uint32] {
+		Make: func(workers int, _ uint64) sched.Scheduler[uint32] {
 			return coarse.New[uint32](coarse.Config{Workers: workers})
 		},
+		Bound: func(int) (int64, bool) { return 0, true },
 	})
 }
 
@@ -298,13 +265,7 @@ func SMQSpec(name string, stealSize int, stealProb float64, numaNodes int) Sched
 	return SchedulerSpec{
 		Name:   name,
 		Params: fmt.Sprintf("steal=%d psteal=%.3g numa=%d", stealSize, stealProb, numaNodes),
-		Make: func(workers int) sched.Scheduler[uint32] {
-			return core.NewStealingMQ[uint32](core.Config{
-				Workers: workers, StealSize: stealSize, StealProb: stealProb,
-				NUMANodes: numaNodes,
-			})
-		},
-		MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+		Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 			return core.NewStealingMQ[uint32](core.Config{
 				Workers: workers, StealSize: stealSize, StealProb: stealProb,
 				NUMANodes: numaNodes, Seed: seed,
@@ -320,14 +281,7 @@ func EMQSpec(name string, stickiness, buffer, numaNodes int) SchedulerSpec {
 	return SchedulerSpec{
 		Name:   name,
 		Params: fmt.Sprintf("stick=%d buf=%d numa=%d", stickiness, buffer, numaNodes),
-		Make: func(workers int) sched.Scheduler[uint32] {
-			return emq.New[uint32](emq.Config{
-				Workers: workers, Stickiness: stickiness,
-				InsertBuffer: buffer, DeleteBuffer: buffer,
-				NUMANodes: numaNodes,
-			})
-		},
-		MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+		Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 			return emq.New[uint32](emq.Config{
 				Workers: workers, Stickiness: stickiness,
 				InsertBuffer: buffer, DeleteBuffer: buffer,
@@ -345,14 +299,17 @@ func KLSMSpec(name string, relaxation int) SchedulerSpec {
 	effective := relaxation
 	if effective == 0 {
 		effective = klsm.DefaultRelaxation
-	} else if effective < 0 {
+	} else if effective == klsm.Strict {
 		effective = 0
 	}
 	return SchedulerSpec{
 		Name:   name,
 		Params: fmt.Sprintf("k=%d", effective),
-		Make: func(workers int) sched.Scheduler[uint32] {
+		Make: func(workers int, _ uint64) sched.Scheduler[uint32] {
 			return klsm.New[uint32](klsm.Config{Workers: workers, Relaxation: relaxation})
+		},
+		Bound: func(workers int) (int64, bool) {
+			return int64(workers-1)*int64(effective) + int64(workers), true
 		},
 	}
 }
@@ -362,11 +319,7 @@ func OBIMSpec(name string, delta uint32, chunk int, adaptive bool) SchedulerSpec
 	return SchedulerSpec{
 		Name:   name,
 		Params: fmt.Sprintf("delta=%d chunk=%d", delta, chunk),
-		Make: func(workers int) sched.Scheduler[uint32] {
-			return obim.New[uint32](obim.Config{Workers: workers, Delta: delta,
-				ChunkSize: chunk, Adaptive: adaptive})
-		},
-		MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+		Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 			return obim.New[uint32](obim.Config{Workers: workers, Delta: delta,
 				ChunkSize: chunk, Adaptive: adaptive, Seed: seed})
 		},
@@ -374,9 +327,12 @@ func OBIMSpec(name string, delta uint32, chunk int, adaptive bool) SchedulerSpec
 }
 
 // ClassicMQBaseline is the ablation experiments' baseline scheduler (the
-// classic Multi-Queue with C=4, as in Figures 1 and 3–20).
-func ClassicMQBaseline(workers int) sched.Scheduler[uint32] {
-	return mq.New[uint32](mq.Classic(workers, 4))
+// classic Multi-Queue with C=4, as in Figures 1 and 3–20). Seed 0 keeps
+// the scheduler's default seeding.
+func ClassicMQBaseline(workers int, seed uint64) sched.Scheduler[uint32] {
+	c := mq.Classic(workers, 4)
+	c.Seed = seed
+	return mq.New[uint32](c)
 }
 
 // Measurement is one measured cell of an experiment.

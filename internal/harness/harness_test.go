@@ -23,7 +23,7 @@ func TestStandardWorkloadsShape(t *testing.T) {
 func TestWorkloadRunAndValidate(t *testing.T) {
 	for _, w := range QuickWorkloads(1) {
 		spec := SMQSpec("SMQ", 4, 0.125, 0)
-		res, err := w.Run(spec.Make(2), true)
+		res, err := w.Run(spec.Make(2, 0), true)
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}

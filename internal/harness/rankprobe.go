@@ -37,7 +37,7 @@ type RankStats struct {
 // scheduling distribution (γ = 0), so the measured displacement reflects
 // the data structure's relaxation alone — the quantity Theorem 1 bounds.
 func ProbeRankLockstep(spec SchedulerSpec, workers, tasks int) RankStats {
-	s := spec.Make(workers)
+	s := spec.Make(workers, 0)
 	seedStriped(s, workers, tasks)
 	handles := make([]sched.Worker[uint32], workers)
 	for i := range handles {
@@ -75,7 +75,7 @@ func ProbeRankLockstepBatched(spec SchedulerSpec, workers, tasks, batch int) Ran
 	if batch < 1 {
 		batch = 1
 	}
-	s := spec.Make(workers)
+	s := spec.Make(workers, 0)
 	for wid := 0; wid < workers; wid++ {
 		w := s.Worker(wid)
 		ps := make([]uint64, 0, batch)
@@ -123,7 +123,7 @@ func ProbeRankLockstepBatched(spec SchedulerSpec, workers, tasks, batch int) Ran
 // the SMQ's guarantee explicitly depends on the scheduler's fairness
 // (the γ assumption), and this probe shows what happens when it erodes.
 func ProbeRank(spec SchedulerSpec, workers, tasks int) RankStats {
-	s := spec.Make(workers)
+	s := spec.Make(workers, 0)
 	seedStriped(s, workers, tasks)
 	var pending sched.Pending
 	pending.Inc(int64(tasks))

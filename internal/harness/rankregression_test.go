@@ -184,7 +184,7 @@ func TestRankRegressionBatchedDriver(t *testing.T) {
 	for _, spec := range AllSchedulers() {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
-			got, _ := algos.SSSP(g, 0, spec.Make(4))
+			got, _ := algos.SSSP(g, 0, spec.Make(4, 0))
 			for v := range want {
 				if got[v] != want[v] {
 					t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])

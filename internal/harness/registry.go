@@ -113,6 +113,7 @@ func Registry() []Experiment {
 		{ID: "geom", Paper: "Rihani et al. 2014 (scenario extension)", Desc: "k-NN graph + Euclidean MST over point sets, schedulers × distributions", plan: planGeom},
 		{ID: "numa", Paper: "Tables 16-27", Desc: "NUMA weight K sweep for MQ and SMQ variants", plan: planNUMA},
 		{ID: "serve", Paper: "extension (open-loop serving)", Desc: "offered-load × scheduler grid through the streaming service front-end", plan: planServe},
+		{ID: "desim", Paper: "extension (conservative PDES over rank bounds)", Desc: "scheduler × simulation-model grid with safe-lookahead causality accounting", plan: planDesim},
 		{ID: "theory", Paper: "Theorem 1 (§3)", Desc: "rank bounds of the SMQ process vs the (1+β) coupling", plan: planTheory},
 		{ID: "rankprobe", Paper: "§5 (wasted-work mechanism)", Desc: "empirical rank relaxation of every scheduler implementation", plan: planRankProbe},
 	}
@@ -244,10 +245,7 @@ func planTable2(cfg RunConfig) (*Plan, error) {
 			spec := SchedulerSpec{
 				Name:   "MQ",
 				Params: fmt.Sprintf("C=%d", c),
-				Make: func(workers int) sched.Scheduler[uint32] {
-					return mq.New[uint32](mq.Classic(workers, c))
-				},
-				MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+				Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 					cc := mq.Classic(workers, c)
 					cc.Seed = seed
 					return mq.New[uint32](cc)
@@ -327,11 +325,7 @@ func planFig19Skip(cfg RunConfig) (*Plan, error) {
 			return SchedulerSpec{
 				Name:   "SMQ SkipList",
 				Params: fmt.Sprintf("steal=%d psteal=%.3g", sz, pr),
-				Make: func(workers int) sched.Scheduler[uint32] {
-					return core.NewStealingMQSkipList[uint32](core.Config{
-						Workers: workers, StealSize: sz, StealProb: pr})
-				},
-				MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+				Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 					return core.NewStealingMQSkipList[uint32](core.Config{
 						Workers: workers, StealSize: sz, StealProb: pr, Seed: seed})
 				},
@@ -448,12 +442,7 @@ func batchLabels() []string {
 func mqSpec(name string, c mq.Config) SchedulerSpec {
 	return SchedulerSpec{
 		Name: name,
-		Make: func(workers int) sched.Scheduler[uint32] {
-			c2 := c
-			c2.Workers = workers
-			return mq.New[uint32](c2)
-		},
-		MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+		Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 			c2 := c
 			c2.Workers = workers
 			c2.Seed = seed
@@ -639,28 +628,19 @@ func planNUMA(cfg RunConfig) (*Plan, error) {
 				NUMANodes: 2, NUMAWeightK: k})
 		}},
 		{"SMQ heap", func(k float64) SchedulerSpec {
-			return SchedulerSpec{Name: "SMQ", Make: func(workers int) sched.Scheduler[uint32] {
-				return core.NewStealingMQ[uint32](core.Config{Workers: workers,
-					NUMANodes: 2, NUMAWeightK: k})
-			}, MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			return SchedulerSpec{Name: "SMQ", Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 				return core.NewStealingMQ[uint32](core.Config{Workers: workers,
 					NUMANodes: 2, NUMAWeightK: k, Seed: seed})
 			}}
 		}},
 		{"SMQ skiplist", func(k float64) SchedulerSpec {
-			return SchedulerSpec{Name: "SMQ skip", Make: func(workers int) sched.Scheduler[uint32] {
-				return core.NewStealingMQSkipList[uint32](core.Config{Workers: workers,
-					NUMANodes: 2, NUMAWeightK: k})
-			}, MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			return SchedulerSpec{Name: "SMQ skip", Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 				return core.NewStealingMQSkipList[uint32](core.Config{Workers: workers,
 					NUMANodes: 2, NUMAWeightK: k, Seed: seed})
 			}}
 		}},
 		{"EMQ", func(k float64) SchedulerSpec {
-			return SchedulerSpec{Name: "EMQ", Make: func(workers int) sched.Scheduler[uint32] {
-				return emq.New[uint32](emq.Config{Workers: workers,
-					NUMANodes: 2, NUMAWeightK: k})
-			}, MakeSeeded: func(workers int, seed uint64) sched.Scheduler[uint32] {
+			return SchedulerSpec{Name: "EMQ", Make: func(workers int, seed uint64) sched.Scheduler[uint32] {
 				return emq.New[uint32](emq.Config{Workers: workers,
 					NUMANodes: 2, NUMAWeightK: k, Seed: seed})
 			}}

@@ -74,21 +74,44 @@ type Config struct {
 	// Relaxation is k, the maximum number of tasks a worker's local LSM
 	// may hold — and therefore the per-worker bound on how many better
 	// tasks a relaxed DeleteMin may skip. Zero selects
-	// DefaultRelaxation; Strict (or any negative value) selects the
-	// exact k = 0 configuration.
+	// DefaultRelaxation; Strict selects the exact k = 0 configuration;
+	// any other negative value is invalid.
 	Relaxation int
 }
 
-func (c *Config) normalize() {
+// Validate reports whether the configuration can build a scheduler:
+// Workers must be positive and Relaxation must be Strict, zero
+// (default) or a positive k. New panics with exactly this error on an
+// invalid configuration, so callers that must not panic validate first.
+func (c Config) Validate() error {
 	if c.Workers <= 0 {
-		panic("klsm: Config.Workers must be positive")
+		return fmt.Errorf("klsm: Config.Workers = %d, must be positive", c.Workers)
 	}
+	if c.Relaxation < Strict {
+		return fmt.Errorf("klsm: Config.Relaxation = %d, must be Strict (%d), 0 (default) or positive",
+			c.Relaxation, Strict)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with the zero Relaxation replaced by
+// DefaultRelaxation and the Strict sentinel resolved to the exact
+// k = 0 configuration. Construction applies it after Validate.
+func (c Config) withDefaults() Config {
 	if c.Relaxation == 0 {
 		c.Relaxation = DefaultRelaxation
 	}
 	if c.Relaxation < 0 {
 		c.Relaxation = 0
 	}
+	return c
+}
+
+func (c *Config) normalize() {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
+	}
+	*c = c.withDefaults()
 }
 
 // block is one sorted run of an LSM: items[head:] are live, ascending

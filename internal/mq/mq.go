@@ -95,34 +95,83 @@ type Config struct {
 	NUMAWeightK float64
 }
 
-func (c *Config) normalize() {
+// Validate reports whether the configuration can build a scheduler:
+// Workers must be positive, policies must be known, and every set field
+// within its documented domain (zero values select defaults). New
+// panics with exactly this error on an invalid configuration, so
+// callers that must not panic validate first.
+func (c Config) Validate() error {
 	if c.Workers <= 0 {
-		panic("mq: Config.Workers must be positive")
+		return fmt.Errorf("mq: Config.Workers = %d, must be positive", c.Workers)
 	}
-	if c.C <= 0 {
+	if c.C < 0 {
+		return fmt.Errorf("mq: Config.C = %d, must be >= 0", c.C)
+	}
+	if c.Insert < InsertTemporalLocality || c.Insert > InsertBatch {
+		return fmt.Errorf("mq: unknown InsertPolicy %d", c.Insert)
+	}
+	if c.Delete < DeleteTemporalLocality || c.Delete > DeleteLocal {
+		return fmt.Errorf("mq: unknown DeletePolicy %d", c.Delete)
+	}
+	if c.PInsertChange < 0 || c.PInsertChange > 1 {
+		return fmt.Errorf("mq: Config.PInsertChange = %g, must be a probability in [0, 1]", c.PInsertChange)
+	}
+	if c.PDeleteChange < 0 || c.PDeleteChange > 1 {
+		return fmt.Errorf("mq: Config.PDeleteChange = %g, must be a probability in [0, 1]", c.PDeleteChange)
+	}
+	if c.BatchInsert < 0 {
+		return fmt.Errorf("mq: Config.BatchInsert = %d, must be >= 0", c.BatchInsert)
+	}
+	if c.BatchDelete < 0 {
+		return fmt.Errorf("mq: Config.BatchDelete = %d, must be >= 0", c.BatchDelete)
+	}
+	if c.HeapArity < 0 || c.HeapArity == 1 {
+		return fmt.Errorf("mq: Config.HeapArity = %d, must be 0 (default) or >= 2", c.HeapArity)
+	}
+	if c.NUMANodes < 0 {
+		return fmt.Errorf("mq: Config.NUMANodes = %d, must be >= 0", c.NUMANodes)
+	}
+	if c.NUMAWeightK < 0 {
+		return fmt.Errorf("mq: Config.NUMAWeightK = %g, must be >= 0", c.NUMAWeightK)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with every zero-valued field replaced by
+// its documented default. Construction applies it after Validate.
+func (c Config) withDefaults() Config {
+	if c.C == 0 {
 		c.C = 4
 	}
-	if c.PInsertChange <= 0 || c.PInsertChange > 1 {
+	if c.PInsertChange == 0 {
 		c.PInsertChange = 1
 	}
-	if c.PDeleteChange <= 0 || c.PDeleteChange > 1 {
+	if c.PDeleteChange == 0 {
 		c.PDeleteChange = 1
 	}
-	if c.BatchInsert <= 0 {
+	if c.BatchInsert == 0 {
 		c.BatchInsert = 8
 	}
-	if c.BatchDelete <= 0 {
+	if c.BatchDelete == 0 {
 		c.BatchDelete = 8
 	}
-	if c.HeapArity < 2 {
+	if c.HeapArity == 0 {
 		c.HeapArity = pq.DefaultArity
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	if c.NUMAWeightK <= 0 {
+	if c.NUMAWeightK == 0 {
 		c.NUMAWeightK = 8
 	}
+	return c
+}
+
+func (c *Config) normalize() {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
+	}
+	*c = c.withDefaults()
 }
 
 // Classic returns the configuration of Listing 1: uniformly random

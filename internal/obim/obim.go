@@ -68,31 +68,62 @@ type Config struct {
 	Seed uint64
 }
 
-func (c *Config) normalize() {
+// Validate reports whether the configuration can build a scheduler:
+// Workers must be positive, Delta a shift within a 64-bit priority
+// (<= 63), and every set field within its documented domain (zero
+// values select defaults). New panics with exactly this error on an
+// invalid configuration, so callers that must not panic validate first.
+func (c Config) Validate() error {
 	if c.Workers <= 0 {
-		panic("obim: Config.Workers must be positive")
+		return fmt.Errorf("obim: Config.Workers = %d, must be positive", c.Workers)
 	}
+	if c.Delta > 63 {
+		return fmt.Errorf("obim: Config.Delta = %d, must be <= 63 (a 64-bit priority shift)", c.Delta)
+	}
+	if c.ChunkSize < 0 {
+		return fmt.Errorf("obim: Config.ChunkSize = %d, must be >= 0", c.ChunkSize)
+	}
+	if c.AdaptInterval < 0 {
+		return fmt.Errorf("obim: Config.AdaptInterval = %d, must be >= 0", c.AdaptInterval)
+	}
+	if c.NUMANodes < 0 {
+		return fmt.Errorf("obim: Config.NUMANodes = %d, must be >= 0", c.NUMANodes)
+	}
+	if c.PruneBags < 0 || c.PruneBags == 1 {
+		return fmt.Errorf("obim: Config.PruneBags = %d, must be 0 (default) or >= 2", c.PruneBags)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with every zero-valued field replaced by
+// its documented default. Construction applies it after Validate.
+func (c Config) withDefaults() Config {
 	if c.Delta == 0 {
 		c.Delta = 10
 	}
-	if c.Delta > 63 {
-		c.Delta = 63
-	}
-	if c.ChunkSize <= 0 {
+	if c.ChunkSize == 0 {
 		c.ChunkSize = 64
 	}
-	if c.AdaptInterval <= 0 {
+	if c.AdaptInterval == 0 {
 		c.AdaptInterval = 2048
 	}
 	if c.NUMANodes < 1 {
 		c.NUMANodes = 1
 	}
-	if c.PruneBags < 2 {
+	if c.PruneBags == 0 {
 		c.PruneBags = 4096
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	return c
+}
+
+func (c *Config) normalize() {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
+	}
+	*c = c.withDefaults()
 }
 
 // chunk is a batch of same-bucket tasks. Chunks move between workers as a

@@ -199,9 +199,11 @@ func Merge(reports []*Report) (*Report, error) {
 		MergedFrom:    len(reports),
 	}
 
-	// Microbenchmark and serve sections: union, duplicates rejected.
+	// Microbenchmark, serve, and desim sections: union, duplicates
+	// rejected.
 	seenRes := map[string]bool{}
 	seenServe := map[string]bool{}
+	seenDesim := map[string]bool{}
 	for _, r := range reports {
 		for _, res := range r.Results {
 			if seenRes[res.Scheduler] {
@@ -223,9 +225,24 @@ func Merge(reports []*Report) (*Report, error) {
 			seenServe[sr.Scheduler] = true
 			out.Serve = append(out.Serve, sr)
 		}
+		for _, dr := range r.Desim {
+			key := dr.Scheduler + "\x00" + dr.Model
+			if seenDesim[key] {
+				return nil, fmt.Errorf("perfbench: merge: duplicate desim result for %q on %q", dr.Scheduler, dr.Model)
+			}
+			seenDesim[key] = true
+			out.Desim = append(out.Desim, dr)
+		}
 	}
 	sort.Slice(out.Results, func(i, j int) bool { return out.Results[i].Scheduler < out.Results[j].Scheduler })
 	sort.Slice(out.Serve, func(i, j int) bool { return out.Serve[i].Scheduler < out.Serve[j].Scheduler })
+	sort.Slice(out.Desim, func(i, j int) bool {
+		a, b := out.Desim[i], out.Desim[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		return a.Scheduler < b.Scheduler
+	})
 
 	// Experiment fragments: group by (experiment, config), union cells.
 	groups := map[fragGroupKey]*ExperimentFragment{}

@@ -22,15 +22,9 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/coarse"
-	"repro/internal/core"
-	"repro/internal/emq"
-	"repro/internal/klsm"
-	"repro/internal/mq"
-	"repro/internal/obim"
 	"repro/internal/sched"
-	"repro/internal/spray"
 	"repro/internal/xrand"
+	"repro/internal/zoo"
 )
 
 // SchemaVersion identifies the report layout. Bump it when fields
@@ -51,11 +45,18 @@ import (
 //	    "merged_from" on reports produced by `benchcheck merge`. A
 //	    version-4 report may carry any non-empty combination of
 //	    Results / Serve / Experiments.
+//	5 — adds the discrete-event simulation trajectory (the "desim"
+//	    section: per-scheduler internal/desim runs with event
+//	    throughput, the safe-lookahead window derived from the
+//	    scheduler's rank-error bound, causality-violation counts and
+//	    per-tenant simulated sojourn percentiles). A version-5 report
+//	    may carry any non-empty combination of
+//	    Results / Serve / Experiments / Desim.
 //
-// Validate is version-gated: committed version-1 through version-3
-// trajectory files (BENCH_PR6.json and earlier) remain valid without
+// Validate is version-gated: committed version-1 through version-4
+// trajectory files (BENCH_PR7.json and earlier) remain valid without
 // the newer fields.
-const SchemaVersion = 4
+const SchemaVersion = 5
 
 // Report is the top-level JSON document.
 type Report struct {
@@ -94,9 +95,67 @@ type Report struct {
 	// `smqbench -fragment` shards and combined by `benchcheck merge`.
 	Experiments []ExperimentFragment `json:"experiments,omitempty"`
 
+	// Desim is the discrete-event simulation trajectory (schema >= 5):
+	// one entry per (scheduler, model) run of internal/desim's
+	// scheduler-driven event loop with a safe-lookahead window.
+	Desim []DesimResult `json:"desim,omitempty"`
+
 	// MergedFrom counts the fragments a merged report was built from
 	// (0 for reports written directly by a benchmark run).
 	MergedFrom int `json:"merged_from,omitempty"`
+}
+
+// DesimResult is one scheduler's discrete-event simulation run (schema
+// >= 5): a simulation model's event population pushed through the
+// scheduler at priority = timestamp, with pops outside the
+// safe-lookahead window counted as causality violations. For a
+// scheduler whose rank-error bound is exact (k-LSM, coarse) and whose
+// window covers the bound, violations must be zero — Validate enforces
+// exactly that, so a committed artifact is a machine-checked safety
+// claim, not a report of a lucky run.
+type DesimResult struct {
+	Scheduler string `json:"scheduler"`
+	// Model names the simulation model ("cluster" or "dag").
+	Model   string `json:"model"`
+	Workers int    `json:"workers"`
+	Seed    uint64 `json:"seed"`
+	// Events is the number of simulation events executed.
+	Events       uint64  `json:"events"`
+	DurationNs   int64   `json:"duration_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// RankBound is the scheduler's rank-error bound at this worker
+	// count (-1 = no usable bound); BoundExact says whether it is a
+	// worst-case guarantee or an expectation-scale estimate.
+	RankBound  int64 `json:"rank_bound"`
+	BoundExact bool  `json:"bound_exact"`
+	// Lookahead is the safe-lookahead window the run was checked
+	// against, in rank units (-1 = unchecked).
+	Lookahead int64 `json:"lookahead"`
+	// Violations counts pops that ran ahead of the window while
+	// smaller-timestamp events were still pending.
+	Violations uint64 `json:"causality_violations"`
+	// MaxLead / MeanLead describe observed lookahead occupancy: how
+	// many smaller-timestamp events were pending at pop time.
+	MaxLead  int64   `json:"max_lead"`
+	MeanLead float64 `json:"mean_lead"`
+	// Checksum is the model's order-independent state digest; equal
+	// checksums across schedulers certify identical simulated outcomes.
+	Checksum uint64 `json:"checksum"`
+	// PerTenant is the cluster model's per-tenant simulated-sojourn
+	// breakdown (empty for models without tenants).
+	PerTenant []TenantDesimResult `json:"per_tenant,omitempty"`
+}
+
+// TenantDesimResult is one tenant's slice of a cluster simulation.
+// Sojourn percentiles are in simulated time units (ticks), not
+// nanoseconds: they describe the modelled system, so they must be
+// identical across schedulers, not merely close.
+type TenantDesimResult struct {
+	Tenant    int    `json:"tenant"`
+	Completed uint64 `json:"completed"`
+	P50       uint64 `json:"sojourn_p50"`
+	P99       uint64 `json:"sojourn_p99"`
+	P999      uint64 `json:"sojourn_p999"`
 }
 
 // ServeResult is one scheduler's open-loop serving run (schema >= 3):
@@ -259,30 +318,14 @@ func Lineup() []string {
 	return []string{"coarse", "mq", "mq-batch", "emq", "smq", "klsm", "obim", "spray"}
 }
 
-// build constructs the named scheduler for w workers. The
-// configurations are the respective papers' defaults (the same ones the
-// harness experiments use).
+// build constructs the named scheduler for w workers via the zoo
+// registry — the single name→factory table the whole repository shares.
 func build(name string, workers int, seed uint64) (sched.Scheduler[int], error) {
-	switch name {
-	case "coarse":
-		return coarse.New[int](coarse.Config{Workers: workers}), nil
-	case "mq":
-		return mq.New[int](mq.Classic(workers, 4)), nil
-	case "mq-batch":
-		return mq.New[int](mq.Config{Workers: workers, C: 4,
-			Insert: mq.InsertBatch, Delete: mq.DeleteBatch, Seed: seed}), nil
-	case "emq":
-		return emq.New[int](emq.Config{Workers: workers, Seed: seed}), nil
-	case "smq":
-		return core.NewStealingMQ[int](core.Config{Workers: workers, Seed: seed}), nil
-	case "klsm":
-		return klsm.New[int](klsm.Config{Workers: workers}), nil
-	case "obim":
-		return obim.New[int](obim.Config{Workers: workers}), nil
-	case "spray":
-		return spray.New[int](spray.Config{Workers: workers, Seed: seed}), nil
+	spec, ok := zoo.Lookup[int](name)
+	if !ok {
+		return nil, fmt.Errorf("perfbench: unknown scheduler %q (known: %v)", name, zoo.Names())
 	}
-	return nil, fmt.Errorf("perfbench: unknown scheduler %q (known: %v)", name, Lineup())
+	return spec.Build(workers, seed), nil
 }
 
 // prioBits bounds the uniform priority domain; ~1M distinct priorities
@@ -578,7 +621,10 @@ func Validate(r *Report) error {
 	if (len(r.Experiments) > 0 || r.Host != nil || len(r.Hosts) > 0) && r.SchemaVersion < 4 {
 		return fmt.Errorf("perfbench: experiments/host sections require schema >= 4, got %d", r.SchemaVersion)
 	}
-	if len(r.Results) == 0 && len(r.Serve) == 0 && len(r.Experiments) == 0 {
+	if len(r.Desim) > 0 && r.SchemaVersion < 5 {
+		return fmt.Errorf("perfbench: desim section requires schema >= 5, got %d", r.SchemaVersion)
+	}
+	if len(r.Results) == 0 && len(r.Serve) == 0 && len(r.Experiments) == 0 && len(r.Desim) == 0 {
 		return fmt.Errorf("perfbench: no results")
 	}
 	if len(r.Results) > 0 {
@@ -630,6 +676,72 @@ func Validate(r *Report) error {
 	for i := range r.Experiments {
 		if err := validateFragment(&r.Experiments[i]); err != nil {
 			return err
+		}
+	}
+	seenDesim := make(map[string]bool, len(r.Desim))
+	for i := range r.Desim {
+		dr := &r.Desim[i]
+		if err := validateDesim(dr); err != nil {
+			return err
+		}
+		key := dr.Scheduler + "/" + dr.Model
+		if seenDesim[key] {
+			return fmt.Errorf("perfbench: duplicate desim run %q", key)
+		}
+		seenDesim[key] = true
+	}
+	return nil
+}
+
+// validateDesim checks one simulation run's internal consistency. The
+// load-bearing rule is the safety claim: a scheduler with an exact
+// rank-error bound, checked with a window at least that bound, must
+// report zero causality violations — a violation there means either the
+// scheduler or the window derivation is wrong, and the artifact must
+// not be committable.
+func validateDesim(dr *DesimResult) error {
+	if dr.Scheduler == "" || dr.Model == "" {
+		return fmt.Errorf("perfbench: desim result with empty scheduler/model name")
+	}
+	tag := dr.Scheduler + "/" + dr.Model
+	if dr.Workers < 1 {
+		return fmt.Errorf("perfbench: desim %s: workers = %d", tag, dr.Workers)
+	}
+	if dr.Events == 0 {
+		return fmt.Errorf("perfbench: desim %s: empty run", tag)
+	}
+	if dr.DurationNs <= 0 || dr.EventsPerSec <= 0 {
+		return fmt.Errorf("perfbench: desim %s: non-positive duration/throughput", tag)
+	}
+	if dr.RankBound < -1 || dr.Lookahead < -1 {
+		return fmt.Errorf("perfbench: desim %s: rank_bound/lookahead below -1", tag)
+	}
+	if dr.Lookahead >= 0 {
+		if dr.MaxLead < 0 || dr.MeanLead < 0 {
+			return fmt.Errorf("perfbench: desim %s: negative lookahead occupancy", tag)
+		}
+		if float64(dr.MaxLead) < dr.MeanLead {
+			return fmt.Errorf("perfbench: desim %s: max_lead %d below mean_lead %g", tag, dr.MaxLead, dr.MeanLead)
+		}
+	} else if dr.Violations != 0 {
+		return fmt.Errorf("perfbench: desim %s: violations reported by an unchecked run", tag)
+	}
+	if dr.BoundExact && dr.RankBound >= 0 && dr.Lookahead >= dr.RankBound && dr.Violations > 0 {
+		return fmt.Errorf("perfbench: desim %s: %d causality violations with lookahead %d >= exact bound %d",
+			tag, dr.Violations, dr.Lookahead, dr.RankBound)
+	}
+	for i, ten := range dr.PerTenant {
+		if ten.Tenant != i {
+			return fmt.Errorf("perfbench: desim %s: per_tenant[%d] has tenant id %d", tag, i, ten.Tenant)
+		}
+		if ten.Completed > 0 {
+			if ten.P50 == 0 || ten.P99 == 0 || ten.P999 == 0 {
+				return fmt.Errorf("perfbench: desim %s: tenant %d: missing sojourn percentiles", tag, i)
+			}
+			if ten.P50 > ten.P99 || ten.P99 > ten.P999 {
+				return fmt.Errorf("perfbench: desim %s: tenant %d: non-monotone sojourn percentiles (p50=%d p99=%d p99.9=%d)",
+					tag, i, ten.P50, ten.P99, ten.P999)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,118 @@
+package sched_test
+
+// The zoo-wide config contract: every scheduler's *Config exposes
+// Validate() error and construction applies documented defaults
+// uniformly. This table drives invalid values through every Validate
+// and asserts they error — instead of panicking or silently clamping —
+// and that the valid anchor configuration both validates and builds.
+
+import (
+	"testing"
+
+	"repro/internal/coarse"
+	"repro/internal/core"
+	"repro/internal/emq"
+	"repro/internal/klsm"
+	"repro/internal/mq"
+	"repro/internal/obim"
+	"repro/internal/sched"
+	"repro/internal/spray"
+)
+
+type validator interface{ Validate() error }
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   validator
+		valid bool
+		build func() sched.Scheduler[int] // set on the valid anchor rows
+	}{
+		// SMQ (core)
+		{name: "core/valid", cfg: core.Config{Workers: 2}, valid: true,
+			build: func() sched.Scheduler[int] { return core.NewStealingMQ[int](core.Config{Workers: 2}) }},
+		{name: "core/negative StealProb is documented", cfg: core.Config{Workers: 2, StealProb: -1}, valid: true},
+		{name: "core/zero workers", cfg: core.Config{}, valid: false},
+		{name: "core/negative workers", cfg: core.Config{Workers: -4}, valid: false},
+		{name: "core/StealProb above 1", cfg: core.Config{Workers: 2, StealProb: 1.5}, valid: false},
+		{name: "core/negative StealSize", cfg: core.Config{Workers: 2, StealSize: -1}, valid: false},
+		{name: "core/HeapArity 1", cfg: core.Config{Workers: 2, HeapArity: 1}, valid: false},
+		{name: "core/negative NUMAWeightK", cfg: core.Config{Workers: 2, NUMAWeightK: -8}, valid: false},
+
+		// Classic MQ family
+		{name: "mq/valid", cfg: mq.Classic(2, 4), valid: true,
+			build: func() sched.Scheduler[int] { return mq.New[int](mq.Classic(2, 4)) }},
+		{name: "mq/valid RELD", cfg: mq.RELD(2), valid: true},
+		{name: "mq/zero workers", cfg: mq.Config{}, valid: false},
+		{name: "mq/negative C", cfg: mq.Config{Workers: 2, C: -1}, valid: false},
+		{name: "mq/PInsertChange above 1", cfg: mq.Config{Workers: 2, PInsertChange: 2}, valid: false},
+		{name: "mq/negative PDeleteChange", cfg: mq.Config{Workers: 2, PDeleteChange: -0.5}, valid: false},
+		{name: "mq/negative BatchDelete", cfg: mq.Config{Workers: 2, BatchDelete: -8}, valid: false},
+		{name: "mq/unknown delete policy", cfg: mq.Config{Workers: 2, Delete: 99}, valid: false},
+
+		// Engineered MQ
+		{name: "emq/valid", cfg: emq.Config{Workers: 2}, valid: true,
+			build: func() sched.Scheduler[int] { return emq.New[int](emq.Config{Workers: 2}) }},
+		{name: "emq/zero workers", cfg: emq.Config{}, valid: false},
+		{name: "emq/negative Stickiness", cfg: emq.Config{Workers: 2, Stickiness: -16}, valid: false},
+		{name: "emq/negative InsertBuffer", cfg: emq.Config{Workers: 2, InsertBuffer: -1}, valid: false},
+		{name: "emq/HeapArity 1", cfg: emq.Config{Workers: 2, HeapArity: 1}, valid: false},
+
+		// k-LSM
+		{name: "klsm/valid", cfg: klsm.Config{Workers: 2}, valid: true,
+			build: func() sched.Scheduler[int] { return klsm.New[int](klsm.Config{Workers: 2}) }},
+		{name: "klsm/valid strict sentinel", cfg: klsm.Config{Workers: 2, Relaxation: klsm.Strict}, valid: true},
+		{name: "klsm/zero workers", cfg: klsm.Config{}, valid: false},
+		{name: "klsm/relaxation below Strict", cfg: klsm.Config{Workers: 2, Relaxation: klsm.Strict - 1}, valid: false},
+		{name: "klsm/very negative relaxation", cfg: klsm.Config{Workers: 2, Relaxation: -256}, valid: false},
+
+		// OBIM / PMOD
+		{name: "obim/valid", cfg: obim.Config{Workers: 2}, valid: true,
+			build: func() sched.Scheduler[int] { return obim.New[int](obim.Config{Workers: 2}) }},
+		{name: "obim/zero workers", cfg: obim.Config{}, valid: false},
+		{name: "obim/Delta above 63", cfg: obim.Config{Workers: 2, Delta: 64}, valid: false},
+		{name: "obim/negative ChunkSize", cfg: obim.Config{Workers: 2, ChunkSize: -1}, valid: false},
+		{name: "obim/PruneBags 1", cfg: obim.Config{Workers: 2, PruneBags: 1}, valid: false},
+
+		// SprayList
+		{name: "spray/valid", cfg: spray.Config{Workers: 2}, valid: true,
+			build: func() sched.Scheduler[int] { return spray.New[int](spray.Config{Workers: 2}) }},
+		{name: "spray/zero workers", cfg: spray.Config{}, valid: false},
+
+		// Coarse strawman
+		{name: "coarse/valid", cfg: coarse.Config{Workers: 2}, valid: true,
+			build: func() sched.Scheduler[int] { return coarse.New[int](coarse.Config{Workers: 2}) }},
+		{name: "coarse/zero workers", cfg: coarse.Config{}, valid: false},
+		{name: "coarse/HeapArity 1", cfg: coarse.Config{Workers: 2, HeapArity: 1}, valid: false},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.valid && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.valid && err == nil {
+				t.Fatalf("Validate() = nil, want error")
+			}
+			if tc.build != nil {
+				if s := tc.build(); s.Workers() != 2 {
+					t.Fatalf("built scheduler has %d workers, want 2", s.Workers())
+				}
+			}
+		})
+	}
+}
+
+// TestInvalidConfigPanicsWithValidateError pins the construction-time
+// contract: New panics with the Validate error (it cannot return one
+// without breaking every construction call site), so Validate-first
+// callers never see the panic.
+func TestInvalidConfigPanicsWithValidateError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New on an invalid config did not panic")
+		}
+	}()
+	klsm.New[int](klsm.Config{Workers: 2, Relaxation: -7})
+}

@@ -3,43 +3,25 @@ package serve
 import (
 	"fmt"
 
-	"repro/internal/coarse"
-	"repro/internal/core"
-	"repro/internal/emq"
-	"repro/internal/klsm"
-	"repro/internal/mq"
-	"repro/internal/obim"
 	"repro/internal/sched"
-	"repro/internal/spray"
+	"repro/internal/zoo"
 )
 
-// Lineup returns the scheduler names Build understands — the same zoo,
-// same order, and same per-scheduler configurations as the perfbench
-// lineup, instantiated at the Request payload.
+// Lineup returns the scheduler names Build understands — the serving
+// benchmark's historical default selection of the zoo registry, in zoo
+// order. Build accepts any zoo name, including ones outside this
+// default slate.
 func Lineup() []string {
 	return []string{"coarse", "mq", "mq-batch", "emq", "smq", "klsm", "obim", "spray"}
 }
 
-// Build constructs the named scheduler for w worker slots.
+// Build constructs the named scheduler for w worker slots, instantiated
+// at the Request payload. The factory itself lives in internal/zoo;
+// this wrapper only translates a miss into a serve-flavoured error.
 func Build(name string, workers int, seed uint64) (sched.Scheduler[Request], error) {
-	switch name {
-	case "coarse":
-		return coarse.New[Request](coarse.Config{Workers: workers}), nil
-	case "mq":
-		return mq.New[Request](mq.Classic(workers, 4)), nil
-	case "mq-batch":
-		return mq.New[Request](mq.Config{Workers: workers, C: 4,
-			Insert: mq.InsertBatch, Delete: mq.DeleteBatch, Seed: seed}), nil
-	case "emq":
-		return emq.New[Request](emq.Config{Workers: workers, Seed: seed}), nil
-	case "smq":
-		return core.NewStealingMQ[Request](core.Config{Workers: workers, Seed: seed}), nil
-	case "klsm":
-		return klsm.New[Request](klsm.Config{Workers: workers}), nil
-	case "obim":
-		return obim.New[Request](obim.Config{Workers: workers}), nil
-	case "spray":
-		return spray.New[Request](spray.Config{Workers: workers, Seed: seed}), nil
+	spec, ok := zoo.Lookup[Request](name)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown scheduler %q (known: %v)", name, zoo.Names())
 	}
-	return nil, fmt.Errorf("serve: unknown scheduler %q (known: %v)", name, Lineup())
+	return spec.Build(workers, seed), nil
 }

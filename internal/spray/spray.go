@@ -49,18 +49,37 @@ type worker[T any] struct {
 	c   *sched.Counters
 }
 
-// New builds a SprayList scheduler.
-func New[T any](cfg Config) *Sched[T] {
-	if cfg.Workers <= 0 {
-		panic("spray: Config.Workers must be positive")
+// Validate reports whether the configuration can build a scheduler:
+// Workers must be positive. New panics with exactly this error on an
+// invalid configuration, so callers that must not panic validate first.
+func (c Config) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("spray: Config.Workers = %d, must be positive", c.Workers)
 	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
+	return nil
+}
+
+// withDefaults returns a copy with the zero Seed and zero Params
+// replaced by their documented defaults (seed 1, the paper's
+// recommended spray parameters for Workers). Construction applies it
+// after Validate.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	zero := cskiplist.SprayParams{}
-	if cfg.Params == zero {
-		cfg.Params = cskiplist.DefaultSprayParams(cfg.Workers)
+	if c.Params == zero {
+		c.Params = cskiplist.DefaultSprayParams(c.Workers)
 	}
+	return c
+}
+
+// New builds a SprayList scheduler.
+func New[T any](cfg Config) *Sched[T] {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	cfg = cfg.withDefaults()
 	s := &Sched[T]{
 		cfg:      cfg,
 		list:     cskiplist.New[T](cfg.Seed),

@@ -1,0 +1,111 @@
+package zoo
+
+import (
+	"testing"
+)
+
+// TestLineupBuildsEverySpec constructs every registered scheduler at a
+// small worker count, seeded and unseeded, and runs a push/pop smoke
+// through worker 0.
+func TestLineupBuildsEverySpec(t *testing.T) {
+	for _, spec := range Lineup[int]() {
+		for _, seed := range []uint64{0, 42} {
+			s := spec.Build(2, seed)
+			if s.Workers() != 2 {
+				t.Fatalf("%s: Workers() = %d, want 2", spec.Name, s.Workers())
+			}
+			w := s.Worker(0)
+			w.Push(7, 1)
+			p, v, ok := w.Pop()
+			if !ok || p != 7 || v != 1 {
+				t.Fatalf("%s: pop = (%d,%d,%t), want (7,1,true)", spec.Name, p, v, ok)
+			}
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup[int]("no-such-scheduler"); ok {
+		t.Fatal("Lookup found a scheduler that does not exist")
+	}
+	sp, ok := Lookup[uint32]("klsm")
+	if !ok || sp.Name != "klsm" {
+		t.Fatalf("Lookup(klsm) = (%q, %t)", sp.Name, ok)
+	}
+}
+
+func TestNamesUniqueAndOrdered(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("empty lineup")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("spec with empty name")
+		}
+		if seen[n] {
+			t.Fatalf("duplicate spec name %q", n)
+		}
+		seen[n] = true
+	}
+	// The perfbench/serve default lineup order starts with the exact
+	// baseline; keep that anchor stable for the recorded trajectory.
+	if names[0] != "coarse" {
+		t.Fatalf("lineup starts with %q, want coarse", names[0])
+	}
+}
+
+// TestRankBounds pins the rank-bound contract: the coarse queue is
+// exactly ordered, the k-LSM has the (P−1)·k+P worst case, the
+// expectation-bound schedulers report a positive inexact bound, and the
+// unbounded ones report -1.
+func TestRankBounds(t *testing.T) {
+	const w = 4
+	bounds := map[string]struct {
+		want  int64
+		exact bool
+	}{
+		"coarse": {0, true},
+		"klsm":   {3*256 + 4, true},
+		"obim":   {-1, false},
+		"pmod":   {-1, false},
+		"reld":   {-1, false},
+	}
+	for _, spec := range Lineup[int]() {
+		b, exact := spec.RankBound(w)
+		if want, ok := bounds[spec.Name]; ok {
+			if b != want.want || exact != want.exact {
+				t.Errorf("%s: RankBound(%d) = (%d, %t), want (%d, %t)",
+					spec.Name, w, b, exact, want.want, want.exact)
+			}
+			continue
+		}
+		// Everything else carries a positive expectation-scale bound.
+		if b <= 0 || exact {
+			t.Errorf("%s: RankBound(%d) = (%d, %t), want positive inexact", spec.Name, w, b, exact)
+		}
+	}
+	var none Spec[int]
+	if b, exact := none.RankBound(1); b != -1 || exact {
+		t.Errorf("nil Bound: RankBound = (%d, %t), want (-1, false)", b, exact)
+	}
+}
+
+// TestConstructorsCoverConformanceList mirrors the zoogate check from
+// the registry side: every constructor named by a spec is non-empty
+// except the coarse strawman's.
+func TestConstructorsCoverConformanceList(t *testing.T) {
+	cons := Constructors()
+	for name, c := range cons {
+		if name == "coarse" {
+			if c != "" {
+				t.Errorf("coarse should wrap no root constructor, got %q", c)
+			}
+			continue
+		}
+		if c == "" {
+			t.Errorf("spec %q names no root constructor", name)
+		}
+	}
+}

@@ -106,6 +106,41 @@
 // contract. cmd/smqserve drives it from the command line, and the
 // "serve" harness experiment records an offered-load × scheduler grid.
 //
+// # Named schedulers
+//
+// Every root constructor has a named, default-configured counterpart in
+// the Spec registry: Lineup lists the whole zoo (exact coarse baseline
+// first) and LookupSpec resolves one name. A Spec bundles the factory
+// — Build(workers, seed) — with the scheduler's RankBound, so generic
+// drivers (perf trajectory, serving front-end, simulation engine) can
+// construct any scheduler by name and reason about its relaxation
+// without a hand-maintained switch:
+//
+//	spec, _ := smq.LookupSpec[string]("klsm")
+//	s := spec.Build(8, 42)
+//	bound, exact := spec.RankBound(8) // 1799, true
+//
+// cmd/zoogate fails the build if a root constructor is missing from the
+// registry, so the name set cannot silently drift from the API.
+//
+// # Simulation & safe lookahead
+//
+// RankBound is what makes a relaxed scheduler a discrete-event
+// simulation engine (internal/desim, cmd/smqsim): pushing each event at
+// priority = timestamp turns pop-driven workers into a parallel event
+// loop, and a rank-error bound B is exactly a conservative-PDES
+// lookahead window in rank units — the scheduler never runs an event
+// with more than B smaller-timestamp events pending. A model whose
+// events tolerate executing up to B ranks early therefore simulates
+// correctly with no synchronization beyond the scheduler itself. The
+// k-LSM's worst-case (P−1)·k+P and the coarse queue's 0 are hard
+// guarantees (RankBound reports exact=true; the desim engine's
+// causality check must count zero violations, and the committed
+// trajectory artifacts machine-check that claim); the Multi-Queue
+// family's Theorem-1 bounds are expectation-scale, so violations are
+// possible but counted; OBIM-style schedulers report no usable bound
+// and run unchecked.
+//
 // # Priorities
 //
 // All schedulers order tasks by a uint64 priority where LOWER means
@@ -183,6 +218,7 @@ import (
 	"repro/internal/ranksim"
 	"repro/internal/sched"
 	"repro/internal/spray"
+	"repro/internal/zoo"
 )
 
 // Scheduler is a relaxed concurrent priority scheduler; see the package
@@ -307,6 +343,24 @@ func NewPMOD[T any](cfg OBIMConfig) Scheduler[T] {
 func NewSprayList[T any](cfg SprayConfig) Scheduler[T] {
 	return spray.New[T](cfg)
 }
+
+// Spec is a named scheduler: a factory plus the scheduler's rank-error
+// bound. The zoo registry (Lineup, LookupSpec) hands out Specs with
+// every scheduler's default configuration; generic drivers build
+// schedulers by name through them instead of maintaining their own
+// name→constructor switches.
+type Spec[T any] = zoo.Spec[T]
+
+// Lineup returns the full named-scheduler zoo at payload type T, exact
+// coarse baseline first. The slice is freshly allocated; callers may
+// reorder or filter it.
+func Lineup[T any]() []Spec[T] { return zoo.Lineup[T]() }
+
+// LookupSpec resolves one zoo scheduler by name (see SpecNames).
+func LookupSpec[T any](name string) (Spec[T], bool) { return zoo.Lookup[T](name) }
+
+// SpecNames lists the zoo's scheduler names in Lineup order.
+func SpecNames() []string { return zoo.Names() }
 
 // Process runs one goroutine per scheduler worker and invokes fn for
 // every task until no work remains. It owns the termination protocol:

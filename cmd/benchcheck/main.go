@@ -7,6 +7,7 @@
 //
 //	benchcheck [BENCH_PR5.json ...]
 //	benchcheck merge -o merged.json frag0.json frag1.json [...]
+//	benchcheck diff [-threshold 0.25] [-flagged] [-fail] old.json new.json
 //
 // With no arguments, benchcheck validates every BENCH_*.json in the
 // current directory — the committed trajectory history — and fails if
@@ -24,6 +25,15 @@
 // end up complete and non-overlapping, and the output is independent of
 // the input file order. Feed the merged file back to
 // `smqbench -assemble` to render the tables.
+//
+// The diff subcommand compares two trajectory artifacts scheduler by
+// scheduler (scalar and batched throughput, pop p99 latency, serve
+// throughput, desim event rate) and marks relative changes beyond the
+// threshold — "!" for any flagged change, "!!" for changes in the
+// harmful direction. It is informational by default (exit 0 even with
+// regressions: benchmark numbers from different machines are not a
+// pass/fail gate); -fail turns harmful-direction flags into a nonzero
+// exit for same-machine gating.
 package main
 
 import (
@@ -41,6 +51,10 @@ func main() {
 		runMerge(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		runDiff(os.Args[2:])
+		return
+	}
 	paths := os.Args[1:]
 	if len(paths) == 0 {
 		var err error
@@ -51,7 +65,7 @@ func main() {
 		sort.Strings(paths)
 		if len(paths) == 0 {
 			fmt.Fprintln(os.Stderr, "benchcheck: no files given and no BENCH_*.json in the current directory")
-			fmt.Fprintln(os.Stderr, "usage: benchcheck [trajectory.json ...] | benchcheck merge -o out.json frag.json ...")
+			fmt.Fprintln(os.Stderr, "usage: benchcheck [trajectory.json ...] | benchcheck merge -o out.json frag.json ... | benchcheck diff old.json new.json")
 			os.Exit(2)
 		}
 	}
@@ -96,6 +110,34 @@ func runMerge(args []string) {
 	}
 	fmt.Fprintf(os.Stderr, "merged %d reports: %d experiment fragments, %d bench results, %d serve runs\n",
 		len(reports), len(merged.Experiments), len(merged.Results), len(merged.Serve))
+}
+
+// runDiff implements `benchcheck diff [flags] old.json new.json`.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0, "relative change that flags an entry (0 = default 0.25)")
+	flagged := fs.Bool("flagged", false, "print only flagged entries")
+	failOn := fs.Bool("fail", false, "exit nonzero if any flagged change points the harmful way")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck diff [-threshold 0.25] [-flagged] [-fail] old.json new.json")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	d := perfbench.Diff(load(oldPath), load(newPath), *threshold)
+	fmt.Printf("diff %s -> %s (threshold %.0f%%)\n", oldPath, newPath, 100*d.Threshold)
+	fmt.Print(d.Format(*flagged))
+	if reg := d.Regressions(); len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d flagged regression(s) out of %d compared entries\n",
+			len(reg), len(d.Entries))
+		if *failOn {
+			os.Exit(1)
+		}
+	}
 }
 
 // load reads, parses and schema-validates one report, exiting on error.

@@ -5,6 +5,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -124,3 +125,63 @@ func TestBenchcheckMerge(t *testing.T) {
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }
+
+// TestBenchcheckDiff drives the diff subcommand over two artifacts with
+// a clear regression: informational by default (exit 0), gating with
+// -fail, and quiet on a self-diff.
+func TestBenchcheckDiff(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "benchcheck")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	report := func(tput float64) string {
+		return `{
+  "schema_version": 1,
+  "generated_by": "test",
+  "go_version": "go",
+  "gomaxprocs": 1,
+  "workers": 1,
+  "prefill": 1,
+  "ops_per_worker": 1,
+  "results": [{"scheduler": "mq", "throughput_ops_per_sec": ` + strconv.FormatFloat(tput, 'g', -1, 64) + `, "ns_per_op": 1}]
+}`
+	}
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(report(1000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(report(400)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Informational: regression printed, exit 0.
+	out, err := exec.Command(bin, "diff", oldPath, newPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("informational diff exited nonzero: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "!! mq") || !strings.Contains(string(out), "regression") {
+		t.Fatalf("diff output missing regression flag:\n%s", out)
+	}
+
+	// Gating: -fail turns the regression into a nonzero exit.
+	if err := exec.Command(bin, "diff", "-fail", oldPath, newPath).Run(); err == nil {
+		t.Fatal("-fail did not gate on a 60% throughput drop")
+	}
+
+	// A self-diff has no flags, even with -fail.
+	out, err = exec.Command(bin, "diff", "-fail", oldPath, oldPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("self-diff flagged: %v\n%s", err, out)
+	}
+
+	// Wide threshold absorbs the drop.
+	if out, err := exec.Command(bin, "diff", "-fail", "-threshold", "0.9", oldPath, newPath).CombinedOutput(); err != nil {
+		t.Fatalf("0.9 threshold still flagged a 60%% drop: %v\n%s", err, out)
+	}
+}

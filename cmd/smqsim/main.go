@@ -50,14 +50,14 @@ func main() {
 		if w <= 0 {
 			w = 4
 		}
-		fmt.Printf("%-10s %-12s %-6s %s\n", "name", "bound", "exact", "params")
+		fmt.Printf("%-10s %-12s %-12s %s\n", "name", "bound", "source", "params")
 		for _, s := range zoo.Lineup[struct{}]() {
 			bound, exact := s.RankBound(w)
 			bs := "—"
 			if bound >= 0 {
 				bs = fmt.Sprint(bound)
 			}
-			fmt.Printf("%-10s %-12s %-6v %s\n", s.Name, bs, exact, s.Params)
+			fmt.Printf("%-10s %-12s %-12s %s\n", s.Name, bs, desim.BoundSource(bound, exact), s.Params)
 		}
 		return
 	}

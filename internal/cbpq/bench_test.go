@@ -1,0 +1,69 @@
+package cbpq
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/benchutil"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+func BenchmarkCBPQ_Throughput(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchutil.Throughput(b, New[int](Config{Workers: workers}), 1<<12)
+		})
+	}
+}
+
+// BenchmarkCBPQ_Batch runs PopN→PushN pairs: one fetch-and-add claims
+// the pop run, one count-word CAS per touched chunk publishes the push
+// batch. Reports ns per batch pair.
+func BenchmarkCBPQ_Batch(b *testing.B) {
+	const batch = 8
+	q := New[int](Config{Workers: 1})
+	w := q.Worker(0)
+	rng := xrand.New(1)
+	for i := 0; i < 1<<12; i++ {
+		w.Push(uint64(rng.Intn(1_000_000)), i)
+	}
+	dst := make([]sched.Task[int], batch)
+	ps := make([]uint64, batch)
+	vs := make([]int, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := w.PopN(dst)
+		for j := 0; j < batch; j++ {
+			base := uint64(rng.Intn(1_000_000))
+			if j < n {
+				base = dst[j].P + uint64(rng.Intn(64))
+			}
+			ps[j], vs[j] = base, j
+		}
+		w.PushN(ps, vs)
+	}
+}
+
+// BenchmarkCBPQ_Pop measures the hot pop path alone (fetch-and-add +
+// claim CAS, rebuild amortized over ChunkCap pops), refilling outside
+// the timer whenever the queue drains.
+func BenchmarkCBPQ_Pop(b *testing.B) {
+	q := New[int](Config{Workers: 1})
+	w := q.Worker(0)
+	rng := xrand.New(1)
+	refill := func() {
+		b.StopTimer()
+		for i := 0; i < 1<<14; i++ {
+			w.Push(uint64(rng.Intn(1_000_000)), i)
+		}
+		b.StartTimer()
+	}
+	refill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := w.Pop(); !ok {
+			refill()
+		}
+	}
+}

@@ -1,0 +1,652 @@
+// Package cbpq implements a CAS-based chunked priority queue in the
+// style of Braginsky, Cohen and Petrank ("CBPQ: High Performance
+// Lock-Free Priority Queue", Euro-Par 2016): the queue is a short
+// sequence of fixed-capacity chunks partitioned by priority range, the
+// first chunk is sorted and consumed by a fetch-and-add on its delete
+// index (no lock and no CAS retry loop on the hot pop path), inserts
+// CAS-publish into the interior chunk owning their range, and a full or
+// contended chunk is frozen and split/rebuilt rather than mutated in
+// place.
+//
+// Unlike every other scheduler in the zoo, no operation ever takes a
+// lock (the Stats().LockFails counter reports CAS failures instead).
+// CBPQ is also exact — Pop returns the minimum of all linearized
+// entries — which makes it the zoo's lock-free rank-bound-0 baseline:
+// the rank regression asserts zero displacement, and desim drives it at
+// lookahead 0 expecting zero causality violations.
+//
+// # Structure
+//
+// All shared state hangs off a single atomic root pointer to an
+// immutable spine:
+//
+//		spine{ head, buf, live[] }
+//
+//	  - head is the sorted first chunk. Pop is one fetch-and-add on
+//	    head.idx plus one claim CAS on the slot's flag; claim states are
+//	    terminal (free → taken by a popper, free → frozen by a rebuild),
+//	    so the survivor set of a drained head is deterministic.
+//	  - live[] are the interior chunks, ascending by their range lower
+//	    bound min; an insert with priority p targets the last chunk with
+//	    min <= p and CAS-bumps its count word, then release-publishes the
+//	    slot's ready flag.
+//	  - buf is the insertion buffer for priorities below live[0].min
+//	    (i.e. inside the head's own range). The head is immutable, so
+//	    such inserts append to buf and then drive a rebuild; the entry
+//	    only linearizes when a rebuild merges buf into a new sorted head,
+//	    and Push returns only after observing that merge. This is how
+//	    exactness survives concurrent small-priority inserts.
+//
+// # Freeze / split / rebuild
+//
+// Structural changes never mutate a published chunk's membership; they
+// freeze it (one atomic Or setting the freeze bit, then waiting out the
+// in-flight publication windows), build replacement chunks privately,
+// and CAS the root to a new spine. The CAS is the single linearization
+// point; losers recycle their never-published candidate chunks into a
+// per-worker freelist (published chunks are never pooled, so the root
+// CAS cannot ABA) and retry against the new spine. A full interior
+// chunk splits into two halves around its median; a rebuild replaces
+// the head with one freshly sorted from its frozen survivors plus the
+// frozen buf, pulling in whole interior chunks until the new head is
+// full. Any thread can help: after a
+// complete freeze the frozen membership is identical for all helpers,
+// so all candidates are equivalent and whichever CAS wins is correct.
+//
+// # Lock-free batches
+//
+// PopN claims a run of n consecutive sorted slots with one
+// fetch-and-add on head.idx. PushN sorts the batch once into a
+// per-worker scratch and publishes each same-chunk run with a single
+// count-word CAS on the owning chunk — one CAS per touched chunk, not
+// per element. This is the chunk-granular answer to "what does PushN
+// mean without a lock": the reservation is the atomic, the copy is
+// plain stores, and the ready flags make the slots visible.
+//
+// # Progress and allocation
+//
+// Every CAS failure implies another operation succeeded, so pushes,
+// pops and structural changes are lock-free; the only unbounded wait is
+// the publication window between a count reservation and its ready
+// flag, which a frozen-chunk reader spins out with Gosched (bounded by
+// the reserving thread being scheduled, as in the original CBPQ's
+// frozenness wait). Steady-state allocation is amortized O(1/ChunkCap)
+// chunks per operation: rebuilds allocate a handful of chunks per
+// ChunkCap pops, CAS losers recycle through the per-worker freelist,
+// and popped or recycled slots are zeroed so the queue retains no
+// payload memory (see the retention test).
+package cbpq
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync/atomic"
+
+	"repro/internal/contend"
+	"repro/internal/pq"
+	"repro/internal/sched"
+)
+
+// DefaultChunkCap is the chunk capacity used when Config.ChunkCap is 0.
+// 64 keeps a chunk's items inside a few cache lines while amortizing a
+// rebuild over 64 pops.
+const DefaultChunkCap = 64
+
+// maxFreeChunks bounds the per-worker freelist of recycled candidate
+// chunks (CAS losers); beyond this they are dropped for the GC.
+const maxFreeChunks = 8
+
+// Slot flag states. Head slots move free → taken (popper claim) or
+// free → frozen (rebuild); both transitions are terminal. Live-chunk
+// slots move free → ready when the reserved slot's item is published.
+const (
+	slotFree   uint32 = 0
+	slotTaken  uint32 = 1
+	slotReady  uint32 = 1
+	slotFrozen uint32 = 2
+)
+
+// ctl packs a live chunk's state into one word: the freeze bit on top
+// of the published-reservation count.
+const (
+	ctlFreeze = uint64(1) << 63
+	ctlCount  = ctlFreeze - 1
+)
+
+// Config parameterizes a CBPQ.
+type Config struct {
+	// Workers is the number of worker handles (required, >= 1).
+	Workers int
+	// ChunkCap is the fixed chunk capacity. 0 means DefaultChunkCap;
+	// otherwise it must be in [4, 65536].
+	ChunkCap int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("cbpq: Workers must be >= 1, got %d", c.Workers)
+	}
+	if c.ChunkCap != 0 && (c.ChunkCap < 4 || c.ChunkCap > 1<<16) {
+		return fmt.Errorf("cbpq: ChunkCap must be 0 (default) or in [4, 65536], got %d", c.ChunkCap)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkCap == 0 {
+		c.ChunkCap = DefaultChunkCap
+	}
+	return c
+}
+
+// chunk is a fixed-capacity run of items. A head chunk uses the sorted
+// prefix items[:n], idx as the pop fetch-and-add cursor, and flags as
+// per-slot claim states. A live chunk uses ctl as its freeze|count word
+// and flags as per-slot publication (ready) bits; min is the inclusive
+// lower bound of its priority range.
+type chunk[T any] struct {
+	min uint64
+	n   int
+
+	idx atomic.Int64
+	_   [contend.CacheLineSize - 8]byte
+	ctl atomic.Uint64
+	_   [contend.CacheLineSize - 8]byte
+
+	items []pq.Item[T]
+	flags []atomic.Uint32
+}
+
+// spine is the immutable root snapshot: the sorted head, the head-range
+// insertion buffer, and the interior chunks ascending by min. Every
+// structural change installs a fresh spine with one CAS.
+type spine[T any] struct {
+	head *chunk[T]
+	buf  *chunk[T]
+	live []*chunk[T]
+}
+
+// targetIdx returns the index in live of the chunk owning priority p
+// (the last chunk with min <= p), or -1 when p belongs to the head
+// range and must go through buf.
+func (s *spine[T]) targetIdx(p uint64) int {
+	live := s.live
+	if len(live) == 0 || p < live[0].min {
+		return -1
+	}
+	lo, hi := 0, len(live)
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if live[mid].min <= p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Queue is a lock-free chunked priority queue. Create with New, then
+// hand each goroutine its own Worker.
+type Queue[T any] struct {
+	cfg  Config
+	root atomic.Pointer[spine[T]]
+	_    [contend.CacheLineSize]byte
+
+	workers  []worker[T]
+	counters []sched.Counters
+}
+
+type worker[T any] struct {
+	q *Queue[T]
+	c *sched.Counters
+
+	// batch holds PushN's sorted copy; merge is the rebuild/split
+	// scratch (distinct because PushN drives rebuilds mid-batch).
+	batch []pq.Item[T]
+	merge []pq.Item[T]
+
+	// built tracks the candidate chunks of the current structural
+	// attempt; free pools recycled CAS losers.
+	built []*chunk[T]
+	free  []*chunk[T]
+
+	_ [contend.CacheLineSize]byte
+}
+
+// New builds a CBPQ. It panics if cfg is invalid (see Config.Validate).
+func New[T any](cfg Config) *Queue[T] {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	cfg = cfg.withDefaults()
+	q := &Queue[T]{
+		cfg:      cfg,
+		workers:  make([]worker[T], cfg.Workers),
+		counters: make([]sched.Counters, cfg.Workers),
+	}
+	for i := range q.workers {
+		q.workers[i] = worker[T]{q: q, c: &q.counters[i]}
+	}
+	w := &q.workers[0]
+	q.root.Store(&spine[T]{head: w.getChunk(), buf: w.getChunk()})
+	w.commitBuilt()
+	return q
+}
+
+// Workers returns the number of worker handles.
+func (q *Queue[T]) Workers() int { return q.cfg.Workers }
+
+// Worker returns the handle for worker w. Each handle must be used by
+// at most one goroutine at a time.
+func (q *Queue[T]) Worker(w int) sched.Worker[T] {
+	if w < 0 || w >= q.cfg.Workers {
+		panic(fmt.Sprintf("cbpq: worker index %d out of range [0,%d)", w, q.cfg.Workers))
+	}
+	return &q.workers[w]
+}
+
+// Stats aggregates the per-worker counters. LockFails counts CAS
+// failures (there are no locks to fail).
+func (q *Queue[T]) Stats() sched.Stats { return sched.SumCounters(q.counters) }
+
+// Push inserts one task.
+func (w *worker[T]) Push(p uint64, v T) {
+	w.c.Pushes++
+	w.push1(p, v)
+}
+
+func (w *worker[T]) push1(p uint64, v T) {
+	q := w.q
+	for {
+		s := q.root.Load()
+		if k := s.targetIdx(p); k >= 0 {
+			c := s.live[k]
+			if c.tryAppend(w, p, v) {
+				return
+			}
+			q.split(w, s, k)
+			continue
+		}
+		b := s.buf
+		if b.tryAppend(w, p, v) {
+			// The entry linearizes when a rebuild merges b into a
+			// sorted head; drive rebuilds until one does.
+			for {
+				cur := q.root.Load()
+				if cur.buf != b {
+					return
+				}
+				q.rebuild(w, cur)
+			}
+		}
+		q.rebuild(w, s)
+	}
+}
+
+// Pop removes and returns a minimum-priority task, or ok=false when the
+// queue is empty. The hot path is one fetch-and-add and one claim CAS.
+func (w *worker[T]) Pop() (uint64, T, bool) {
+	q := w.q
+	var zero T
+	for {
+		s := q.root.Load()
+		h := s.head
+		if h.idx.Load() < int64(h.n) {
+			i := h.idx.Add(1) - 1
+			if i < int64(h.n) {
+				if h.flags[i].CompareAndSwap(slotFree, slotTaken) {
+					it := h.items[i]
+					h.items[i].V = zero
+					w.c.Pops++
+					return it.P, it.V, true
+				}
+				// The slot was frozen by a racing rebuild; help it
+				// finish and retry against the new spine.
+				w.c.LockFails++
+				q.rebuild(w, s)
+				continue
+			}
+		}
+		if s.buf.ctl.Load() == 0 && len(s.live) == 0 {
+			w.c.EmptyPops++
+			return 0, zero, false
+		}
+		q.rebuild(w, s)
+	}
+}
+
+// PushN inserts a batch (see sched.Worker). The batch is sorted once;
+// each run of entries owned by the same chunk is published with a
+// single count-word CAS (or lands in buf and is merged by one rebuild).
+func (w *worker[T]) PushN(ps []uint64, vs []T) {
+	sched.CheckPushN(len(ps), len(vs))
+	if len(ps) == 0 {
+		return
+	}
+	w.c.Pushes += uint64(len(ps))
+	q := w.q
+	batch := w.batch[:0]
+	for i, p := range ps {
+		batch = append(batch, pq.Item[T]{P: p, V: vs[i]})
+	}
+	slices.SortFunc(batch, itemCmp)
+	w.batch = batch
+
+	var lastBuf *chunk[T]
+	i := 0
+	for i < len(batch) {
+		s := q.root.Load()
+		p := batch[i].P
+		if k := s.targetIdx(p); k >= 0 {
+			c := s.live[k]
+			hi := uint64(1<<64 - 1)
+			if k+1 < len(s.live) {
+				hi = s.live[k+1].min
+			}
+			j := i + 1
+			for j < len(batch) && batch[j].P < hi {
+				j++
+			}
+			if n := c.tryAppendRun(w, batch[i:j]); n > 0 {
+				i += n
+				continue
+			}
+			q.split(w, s, k)
+			continue
+		}
+		hi := uint64(1<<64 - 1)
+		if len(s.live) > 0 {
+			hi = s.live[0].min
+		}
+		j := i + 1
+		for j < len(batch) && batch[j].P < hi {
+			j++
+		}
+		if n := s.buf.tryAppendRun(w, batch[i:j]); n > 0 {
+			lastBuf = s.buf
+			i += n
+			continue
+		}
+		q.rebuild(w, s)
+	}
+	if lastBuf != nil {
+		for {
+			cur := q.root.Load()
+			if cur.buf != lastBuf {
+				break
+			}
+			q.rebuild(w, cur)
+		}
+	}
+	clear(w.batch)
+	w.batch = w.batch[:0]
+}
+
+// PopN claims up to len(dst) tasks with one fetch-and-add on the head's
+// delete index; the claimed run is consecutive sorted slots, so the
+// result is ascending by priority.
+func (w *worker[T]) PopN(dst []sched.Task[T]) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	q := w.q
+	var zero T
+	for {
+		s := q.root.Load()
+		h := s.head
+		if h.idx.Load() < int64(h.n) {
+			want := int64(len(dst))
+			start := h.idx.Add(want) - want
+			if start < int64(h.n) {
+				end := min(start+want, int64(h.n))
+				n := 0
+				for i := start; i < end; i++ {
+					if h.flags[i].CompareAndSwap(slotFree, slotTaken) {
+						dst[n] = h.items[i]
+						h.items[i].V = zero
+						n++
+					}
+				}
+				if n > 0 {
+					w.c.Pops += uint64(n)
+					return n
+				}
+				// Every slot in the run was frozen by a racing rebuild.
+				w.c.LockFails++
+				q.rebuild(w, s)
+				continue
+			}
+		}
+		if s.buf.ctl.Load() == 0 && len(s.live) == 0 {
+			w.c.EmptyPops++
+			return 0
+		}
+		q.rebuild(w, s)
+	}
+}
+
+// tryAppend reserves one slot in a live chunk with a count-word CAS and
+// publishes the item behind its ready flag. It fails (false) when the
+// chunk is frozen or full.
+func (c *chunk[T]) tryAppend(w *worker[T], p uint64, v T) bool {
+	for {
+		ctl := c.ctl.Load()
+		if ctl&ctlFreeze != 0 {
+			return false
+		}
+		n := int(ctl & ctlCount)
+		if n >= len(c.items) {
+			return false
+		}
+		if c.ctl.CompareAndSwap(ctl, ctl+1) {
+			c.items[n] = pq.Item[T]{P: p, V: v}
+			c.flags[n].Store(slotReady)
+			return true
+		}
+		w.c.LockFails++
+	}
+}
+
+// tryAppendRun reserves space for as much of run as fits with a single
+// count-word CAS, publishes the copied items, and returns how many were
+// taken (0 when frozen or full).
+func (c *chunk[T]) tryAppendRun(w *worker[T], run []pq.Item[T]) int {
+	for {
+		ctl := c.ctl.Load()
+		if ctl&ctlFreeze != 0 {
+			return 0
+		}
+		n := int(ctl & ctlCount)
+		r := min(len(c.items)-n, len(run))
+		if r == 0 {
+			return 0
+		}
+		if c.ctl.CompareAndSwap(ctl, ctl+uint64(r)) {
+			copy(c.items[n:n+r], run[:r])
+			for i := n; i < n+r; i++ {
+				c.flags[i].Store(slotReady)
+			}
+			return r
+		}
+		w.c.LockFails++
+	}
+}
+
+// freezeLive sets the chunk's freeze bit and waits out in-flight
+// publications; afterwards items[:count] is stable and fully visible.
+// Returns the frozen count.
+func freezeLive[T any](c *chunk[T]) int {
+	n := int(c.ctl.Or(ctlFreeze) & ctlCount)
+	for i := 0; i < n; i++ {
+		for spins := 0; c.flags[i].Load() != slotReady; spins++ {
+			if spins > 64 {
+				runtime.Gosched()
+			}
+		}
+	}
+	return n
+}
+
+// rebuild replaces spine s with one whose head is freshly sorted from
+// the head's unclaimed survivors plus the frozen buf — pulling in whole
+// interior chunks until the head is full — plus spill chunks for the
+// overflow and an empty buf. Safe to call from any thread at any time;
+// helpers build equivalent candidates and exactly one root CAS wins.
+func (q *Queue[T]) rebuild(w *worker[T], s *spine[T]) {
+	if q.root.Load() != s {
+		return
+	}
+	bn := freezeLive(s.buf)
+	h := s.head
+	for i := 0; i < h.n; i++ {
+		h.flags[i].CompareAndSwap(slotFree, slotFrozen)
+	}
+	m := w.merge[:0]
+	for i := 0; i < h.n; i++ {
+		if h.flags[i].Load() == slotFrozen {
+			m = append(m, h.items[i])
+		}
+	}
+	m = append(m, s.buf.items[:bn]...)
+	// Pull in whole interior chunks until the new head is full: always
+	// rebuilding to a full sorted head is what keeps the amortization
+	// (one rebuild per ~ChunkCap pops) — promoting only on a fully
+	// drained head would let heads shrink and rebuilds cascade. The
+	// rule is a deterministic function of the frozen counts, so
+	// concurrent helpers still build equivalent candidates.
+	cap_ := q.cfg.ChunkCap
+	live := s.live
+	for len(m) < cap_ && len(live) > 0 {
+		ln := freezeLive(live[0])
+		m = append(m, live[0].items[:ln]...)
+		live = live[1:]
+	}
+	slices.SortFunc(m, itemCmp)
+
+	nh := min(len(m), cap_)
+	head2 := w.getChunk()
+	head2.n = nh
+	copy(head2.items[:nh], m[:nh])
+
+	rest := m[nh:]
+	newLive := make([]*chunk[T], 0, (len(rest)+cap_/2)/max(1, cap_/2)+len(live))
+	for len(rest) > 0 {
+		r := min(len(rest), max(1, cap_/2))
+		newLive = append(newLive, w.prefill(rest[0].P, rest[:r]))
+		rest = rest[r:]
+	}
+	newLive = append(newLive, live...)
+
+	s2 := &spine[T]{head: head2, buf: w.getChunk(), live: newLive}
+	if q.root.CompareAndSwap(s, s2) {
+		w.commitBuilt()
+	} else {
+		w.c.LockFails++
+		w.recycleBuilt()
+	}
+	clear(m)
+	w.merge = m[:0]
+}
+
+// split replaces the frozen (or about-to-freeze) live chunk s.live[k]
+// with two halves around its median — or a single thawed copy when it
+// holds fewer than two entries. Like rebuild, any thread can help and
+// one root CAS wins.
+func (q *Queue[T]) split(w *worker[T], s *spine[T], k int) {
+	if q.root.Load() != s {
+		return
+	}
+	c := s.live[k]
+	n := freezeLive(c)
+	m := w.merge[:0]
+	m = append(m, c.items[:n]...)
+	slices.SortFunc(m, itemCmp)
+
+	var repl []*chunk[T]
+	if len(m) < 2 {
+		repl = []*chunk[T]{w.prefill(c.min, m)}
+	} else {
+		mid := len(m) / 2
+		repl = []*chunk[T]{w.prefill(c.min, m[:mid]), w.prefill(m[mid].P, m[mid:])}
+	}
+	newLive := make([]*chunk[T], 0, len(s.live)+1)
+	newLive = append(newLive, s.live[:k]...)
+	newLive = append(newLive, repl...)
+	newLive = append(newLive, s.live[k+1:]...)
+
+	s2 := &spine[T]{head: s.head, buf: s.buf, live: newLive}
+	if q.root.CompareAndSwap(s, s2) {
+		w.commitBuilt()
+	} else {
+		w.c.LockFails++
+		w.recycleBuilt()
+	}
+	clear(m)
+	w.merge = m[:0]
+}
+
+// prefill builds a fully published live chunk holding items, with range
+// lower bound min.
+func (w *worker[T]) prefill(min uint64, items []pq.Item[T]) *chunk[T] {
+	c := w.getChunk()
+	c.min = min
+	copy(c.items, items)
+	for i := range items {
+		c.flags[i].Store(slotReady)
+	}
+	c.ctl.Store(uint64(len(items)))
+	return c
+}
+
+// getChunk takes a chunk from the per-worker freelist (or allocates
+// one) and records it as part of the current structural attempt.
+func (w *worker[T]) getChunk() *chunk[T] {
+	var c *chunk[T]
+	if n := len(w.free); n > 0 {
+		c = w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+	} else {
+		c = &chunk[T]{
+			items: make([]pq.Item[T], w.q.cfg.ChunkCap),
+			flags: make([]atomic.Uint32, w.q.cfg.ChunkCap),
+		}
+	}
+	w.built = append(w.built, c)
+	return c
+}
+
+// commitBuilt forgets the candidates of a won CAS: they are published
+// now and must never return to the pool (that would ABA the root CAS).
+func (w *worker[T]) commitBuilt() { w.built = w.built[:0] }
+
+// recycleBuilt returns the candidates of a lost CAS — memory no other
+// thread has ever seen — to the freelist, zeroed so the pool retains no
+// task payloads.
+func (w *worker[T]) recycleBuilt() {
+	for _, c := range w.built {
+		if len(w.free) < maxFreeChunks {
+			c.min, c.n = 0, 0
+			c.idx.Store(0)
+			c.ctl.Store(0)
+			clear(c.items)
+			clear(c.flags)
+			w.free = append(w.free, c)
+		}
+	}
+	clear(w.built)
+	w.built = w.built[:0]
+}
+
+func itemCmp[T any](a, b pq.Item[T]) int {
+	switch {
+	case a.P < b.P:
+		return -1
+	case a.P > b.P:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,237 @@
+package cbpq
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestSequentialExact drives a single worker through a random push/pop
+// mix against a reference model: every pop must return the exact
+// minimum of the live set, for both the default and a tiny chunk
+// capacity (the latter forces constant splits and rebuilds).
+func TestSequentialExact(t *testing.T) {
+	for _, cap_ := range []int{0, 4, 8} {
+		q := New[int](Config{Workers: 1, ChunkCap: cap_})
+		w := q.Worker(0)
+		rng := rand.New(rand.NewSource(42))
+		var model []uint64
+		for op := 0; op < 20000; op++ {
+			if len(model) == 0 || rng.Intn(3) != 0 {
+				p := uint64(rng.Intn(1000))
+				w.Push(p, int(p))
+				model = append(model, p)
+			} else {
+				mi := 0
+				for i, p := range model {
+					if p < model[mi] {
+						mi = i
+					}
+				}
+				want := model[mi]
+				model[mi] = model[len(model)-1]
+				model = model[:len(model)-1]
+				p, v, ok := w.Pop()
+				if !ok {
+					t.Fatalf("cap=%d op=%d: Pop empty with %d modeled entries", cap_, op, len(model)+1)
+				}
+				if p != want {
+					t.Fatalf("cap=%d op=%d: Pop = %d, want exact min %d", cap_, op, p, want)
+				}
+				if uint64(v) != p {
+					t.Fatalf("cap=%d op=%d: payload %d does not match priority %d", cap_, op, v, p)
+				}
+			}
+		}
+		for range model {
+			if _, _, ok := w.Pop(); !ok {
+				t.Fatalf("cap=%d: queue drained before the model", cap_)
+			}
+		}
+		if _, _, ok := w.Pop(); ok {
+			t.Fatalf("cap=%d: queue still non-empty after the model drained", cap_)
+		}
+	}
+}
+
+// TestBatchExact checks that PushN batches pop back in exact global
+// order via PopN, across chunk boundaries and with duplicates.
+func TestBatchExact(t *testing.T) {
+	q := New[int](Config{Workers: 1, ChunkCap: 8})
+	w := q.Worker(0)
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	ps := make([]uint64, n)
+	vs := make([]int, n)
+	for i := range ps {
+		ps[i] = uint64(rng.Intn(300))
+		vs[i] = i
+	}
+	w.PushN(ps[:n/2], vs[:n/2])
+	w.PushN(ps[n/2:], vs[n/2:])
+
+	var got []uint64
+	dst := make([]sched.Task[int], 64)
+	for {
+		k := w.PopN(dst)
+		if k == 0 {
+			break
+		}
+		for _, it := range dst[:k] {
+			got = append(got, it.P)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("popped %d of %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("PopN out of order at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	st := q.Stats()
+	if st.Pushes != n || st.Pops != n {
+		t.Fatalf("stats: pushes=%d pops=%d, want %d each", st.Pushes, st.Pops, n)
+	}
+}
+
+// TestEmptyAndEdgeBatches covers the empty queue and the nil-batch
+// no-ops.
+func TestEmptyAndEdgeBatches(t *testing.T) {
+	q := New[string](Config{Workers: 2})
+	w := q.Worker(0)
+	if _, _, ok := w.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	w.PushN(nil, nil)
+	if n := w.PopN(nil); n != 0 {
+		t.Fatalf("PopN(nil) = %d", n)
+	}
+	st := q.Stats()
+	if st.Pushes != 0 || st.Pops != 0 {
+		t.Fatalf("nil batches disturbed stats: %+v", st)
+	}
+	w.Push(9, "x")
+	if p, v, ok := q.Worker(1).Pop(); !ok || p != 9 || v != "x" {
+		t.Fatalf("cross-worker pop = (%d,%q,%v)", p, v, ok)
+	}
+}
+
+// TestConfigValidate pins the constructor contract.
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Workers: 1}).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for _, bad := range []Config{{}, {Workers: -1}, {Workers: 1, ChunkCap: 3}, {Workers: 1, ChunkCap: 1 << 17}} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil, want error", bad)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New[int](Config{})
+}
+
+// TestConcurrentExactDrain hammers the queue from several goroutines
+// with a tiny chunk capacity, then verifies global conservation and
+// that a final single-threaded drain comes out sorted.
+func TestConcurrentExactDrain(t *testing.T) {
+	workers := 4
+	perWorker := 3000
+	if testing.Short() {
+		perWorker = 600
+	}
+	q := New[uint64](Config{Workers: workers, ChunkCap: 8})
+	var popped sync.Map
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := q.Worker(wi)
+			rng := rand.New(rand.NewSource(int64(wi)))
+			count := 0
+			for i := 0; i < perWorker; i++ {
+				id := uint64(wi*perWorker + i)
+				w.Push(uint64(rng.Intn(500)), id)
+				if i%3 == 0 {
+					if _, v, ok := w.Pop(); ok {
+						if _, dup := popped.LoadOrStore(v, true); dup {
+							t.Errorf("duplicate pop of %d", v)
+						}
+						count++
+					}
+				}
+			}
+			_ = count
+		}(wi)
+	}
+	wg.Wait()
+
+	w := q.Worker(0)
+	prev := uint64(0)
+	for {
+		p, v, ok := w.Pop()
+		if !ok {
+			break
+		}
+		if p < prev {
+			t.Fatalf("final drain out of order: %d after %d", p, prev)
+		}
+		prev = p
+		if _, dup := popped.LoadOrStore(v, true); dup {
+			t.Fatalf("duplicate pop of %d", v)
+		}
+	}
+	total := 0
+	popped.Range(func(any, any) bool { total++; return true })
+	if total != workers*perWorker {
+		t.Fatalf("conservation: popped %d unique of %d pushed", total, workers*perWorker)
+	}
+	if st := q.Stats(); st.Pushes != st.Pops {
+		t.Fatalf("stats conservation: pushes=%d pops=%d", st.Pushes, st.Pops)
+	}
+}
+
+// TestRetention verifies the queue keeps no references to popped
+// payloads: chunks zero claimed slots, and recycled candidates are
+// scrubbed (same discipline as the pq/klsm pool retention tests).
+func TestRetention(t *testing.T) {
+	q := New[*[64]byte](Config{Workers: 1, ChunkCap: 8})
+	w := q.Worker(0)
+	const n = 60
+	released := make(chan int, n)
+	for i := 0; i < n; i++ {
+		payload := &[64]byte{}
+		runtime.AddCleanup(payload, func(i int) { released <- i }, i)
+		w.Push(uint64(i%7), payload)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, ok := w.Pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	got := 0
+	for attempt := 0; attempt < 20 && got < n; attempt++ {
+		runtime.GC()
+		for {
+			select {
+			case <-released:
+				got++
+				continue
+			default:
+			}
+			break
+		}
+	}
+	if got != n {
+		t.Fatalf("only %d of %d popped payloads were released — the queue retains them", got, n)
+	}
+	runtime.KeepAlive(q)
+}

@@ -1,0 +1,105 @@
+//go:build stress
+
+// Elevated-iteration soak tests for the lock-free interleavings, run
+// by CI's dedicated stress job (`go test -race -tags stress`) so the
+// main test job stays fast. See .github/workflows/ci.yml.
+
+package cbpq
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// stressRun hammers one queue with a mixed scalar/batch workload and
+// verifies conservation (pushed == popped + remaining) plus exact
+// ascending order on the final drain.
+func stressRun(t *testing.T, workers, perWorker, chunkCap int) {
+	t.Helper()
+	q := New[uint64](Config{Workers: workers, ChunkCap: chunkCap})
+	var pushed, popped atomic.Uint64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := q.Worker(wi)
+			rng := rand.New(rand.NewSource(int64(wi)*2654435761 + 1))
+			dst := make([]sched.Task[uint64], 17)
+			ps := make([]uint64, 0, 13)
+			vs := make([]uint64, 0, 13)
+			for i := 0; i < perWorker; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					w.Push(uint64(rng.Intn(1<<14)), uint64(i))
+					pushed.Add(1)
+				case 1:
+					n := 1 + rng.Intn(13)
+					ps, vs = ps[:0], vs[:0]
+					for j := 0; j < n; j++ {
+						ps = append(ps, uint64(rng.Intn(1<<14)))
+						vs = append(vs, uint64(i*100+j))
+					}
+					w.PushN(ps, vs)
+					pushed.Add(uint64(n))
+				case 2:
+					if _, _, ok := w.Pop(); ok {
+						popped.Add(1)
+					}
+				default:
+					popped.Add(uint64(w.PopN(dst[:1+rng.Intn(17)])))
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	w := q.Worker(0)
+	prev := uint64(0)
+	remaining := uint64(0)
+	for {
+		p, _, ok := w.Pop()
+		if !ok {
+			break
+		}
+		if p < prev {
+			t.Fatalf("final drain out of order: %d after %d", p, prev)
+		}
+		prev = p
+		remaining++
+	}
+	if pushed.Load() != popped.Load()+remaining {
+		t.Fatalf("conservation: pushed=%d popped=%d remaining=%d",
+			pushed.Load(), popped.Load(), remaining)
+	}
+	st := q.Stats()
+	if st.Pushes != pushed.Load() || st.Pops != popped.Load()+remaining {
+		t.Fatalf("stats drifted: %+v vs pushed=%d popped=%d", st, pushed.Load(), popped.Load()+remaining)
+	}
+}
+
+// TestStressMixed soaks the default and a split-heavy tiny chunk
+// capacity at full parallelism.
+func TestStressMixed(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for _, cap_ := range []int{0, 8} {
+		stressRun(t, workers, 60000, cap_)
+	}
+}
+
+// TestStressOversubscribed runs more workers than GOMAXPROCS so
+// preempted publication windows and helper races actually happen —
+// progress bugs the spinlock schedulers never hit.
+func TestStressOversubscribed(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	stressRun(t, 3*prev+2, 20000, 8)
+}

@@ -100,10 +100,26 @@ func (c *BenchConfig) buildModel(name string) (model, error) {
 	return nil, fmt.Errorf("desim: unknown model %q", name)
 }
 
+// BoundSource labels the provenance of a simulation's causality
+// window for the report: "exact" for a worst-case rank-bound
+// guarantee, "expectation" for an expectation-scale estimate, and
+// "unchecked" for a lookahead of −1 (no usable bound, no claim).
+func BoundSource(bound int64, exact bool) string {
+	switch {
+	case bound < 0:
+		return "unchecked"
+	case exact:
+		return "exact"
+	default:
+		return "expectation"
+	}
+}
+
 // RunOne simulates one model on one named scheduler. The lookahead
 // window is the scheduler's RankBound at this worker count; schedulers
 // without a usable bound run unchecked (lookahead −1), so the result
-// records throughput but makes no causality claim.
+// records throughput but makes no causality claim — BoundSource labels
+// that distinction explicitly in the artifact.
 func RunOne(name, modelName string, cfg BenchConfig) (perfbench.DesimResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return perfbench.DesimResult{}, err
@@ -141,6 +157,7 @@ func RunOne(name, modelName string, cfg BenchConfig) (perfbench.DesimResult, err
 		RankBound:    bound,
 		BoundExact:   exact,
 		Lookahead:    lookahead,
+		BoundSource:  BoundSource(bound, exact),
 		Violations:   stats.Violations,
 		MaxLead:      stats.MaxLead,
 		MeanLead:     stats.MeanLead,
@@ -153,7 +170,7 @@ func RunOne(name, modelName string, cfg BenchConfig) (perfbench.DesimResult, err
 }
 
 // RunBench runs the configured scheduler × model grid and assembles a
-// validated schema-v5 report. Beyond per-run validation it enforces the
+// validated schema-versioned report. Beyond per-run validation it enforces the
 // cross-run contract the models promise: every scheduler simulating the
 // same model must report the same checksum as the first.
 func RunBench(cfg BenchConfig) (*perfbench.Report, error) {

@@ -87,7 +87,7 @@ func TestClusterIdenticalAcrossSchedulers(t *testing.T) {
 	wantSum := base.Checksum()
 	wantTenants := base.PerTenant()
 
-	for _, name := range []string{"smq", "mq", "emq", "klsm", "spray", "obim"} {
+	for _, name := range []string{"cbpq", "smq", "mq", "emq", "klsm", "spray", "obim"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			m := testCluster(t, workers)
@@ -165,6 +165,93 @@ func TestCoarseWithinZeroBound(t *testing.T) {
 	}
 	if st.Violations != 0 {
 		t.Fatalf("exact queue reported %d violations (max lead %d)", st.Violations, st.MaxLead)
+	}
+}
+
+// TestCBPQWithinZeroBound: the lock-free CBPQ claims the same exact
+// rank bound (0) as the coarse queue, so a zero-width window must be
+// violation-free on both models, and the simulated outcome must be
+// bitwise-identical to the coarse baseline — the lock-free tier buys
+// progress guarantees, not relaxation.
+func TestCBPQWithinZeroBound(t *testing.T) {
+	const workers = 4
+	spec, ok := zoo.Lookup[Event]("cbpq")
+	if !ok {
+		t.Fatal("zoo has no cbpq")
+	}
+	if bound, exact := spec.RankBound(workers); bound != 0 || !exact {
+		t.Fatalf("cbpq RankBound = (%d, %t), want (0, true)", bound, exact)
+	}
+
+	// Cluster: zero-lookahead run vs the coarse baseline.
+	base := testCluster(t, workers)
+	cs, _ := zoo.Lookup[Event]("coarse")
+	if _, err := Run(cs.Build(workers, 7), base, Config{Workers: workers, Lookahead: 0}); err != nil {
+		t.Fatal(err)
+	}
+	m := testCluster(t, workers)
+	st, err := Run(spec.Build(workers, 7), m, Config{Workers: workers, Lookahead: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != base.Events() {
+		t.Fatalf("cbpq executed %d events, want %d", st.Events, base.Events())
+	}
+	if st.Violations != 0 {
+		t.Fatalf("cbpq reported %d violations inside its zero window (max lead %d)", st.Violations, st.MaxLead)
+	}
+	if m.Checksum() != base.Checksum() {
+		t.Fatalf("cbpq cluster checksum %#x != coarse %#x", m.Checksum(), base.Checksum())
+	}
+	for i, ten := range m.PerTenant() {
+		if want := base.PerTenant()[i]; ten != want {
+			t.Fatalf("tenant %d = %+v, want %+v", i, ten, want)
+		}
+	}
+
+	// DAG: same zero-window safety claim and outcome identity.
+	newDAG := func() *DAG {
+		d, err := NewDAG(DAGConfig{Layers: 64, Width: 64, Workers: workers, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	dagBase := newDAG()
+	if _, err := Run(cs.Build(workers, 11), dagBase, Config{Workers: workers, Lookahead: 0}); err != nil {
+		t.Fatal(err)
+	}
+	dm := newDAG()
+	st, err = Run(spec.Build(workers, 11), dm, Config{Workers: workers, Lookahead: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("cbpq DAG run reported %d violations inside its zero window (max lead %d)", st.Violations, st.MaxLead)
+	}
+	if dm.Makespan() != dagBase.Makespan() || dm.Checksum() != dagBase.Checksum() {
+		t.Fatalf("cbpq DAG outcome (makespan %d, checksum %#x) != coarse (%d, %#x)",
+			dm.Makespan(), dm.Checksum(), dagBase.Makespan(), dagBase.Checksum())
+	}
+}
+
+// TestBoundSourceLabels pins the window-provenance labels the reports
+// carry (schema >= 6).
+func TestBoundSourceLabels(t *testing.T) {
+	cases := []struct {
+		bound int64
+		exact bool
+		want  string
+	}{
+		{-1, false, "unchecked"},
+		{0, true, "exact"},
+		{1028, true, "exact"},
+		{512, false, "expectation"},
+	}
+	for _, c := range cases {
+		if got := BoundSource(c.bound, c.exact); got != c.want {
+			t.Errorf("BoundSource(%d, %t) = %q, want %q", c.bound, c.exact, got, c.want)
+		}
 	}
 }
 
@@ -246,7 +333,7 @@ func TestRunOneUnknownScheduler(t *testing.T) {
 func TestRunBenchSmoke(t *testing.T) {
 	r, err := RunBench(BenchConfig{
 		Workers:    2,
-		Schedulers: []string{"coarse", "smq", "klsm"},
+		Schedulers: []string{"coarse", "cbpq", "smq", "klsm"},
 		Models:     []string{"cluster", "dag"},
 		Events:     40_000,
 		Layers:     32, Width: 32,
@@ -255,15 +342,19 @@ func TestRunBenchSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Desim) != 6 {
-		t.Fatalf("got %d desim results, want 6", len(r.Desim))
+	if len(r.Desim) != 8 {
+		t.Fatalf("got %d desim results, want 8", len(r.Desim))
 	}
+	wantSource := map[string]string{"coarse": "exact", "cbpq": "exact", "smq": "expectation", "klsm": "exact"}
 	for _, dr := range r.Desim {
-		if dr.Scheduler == "klsm" && dr.Violations != 0 {
-			t.Fatalf("klsm %s run has %d violations", dr.Model, dr.Violations)
+		if (dr.Scheduler == "klsm" || dr.Scheduler == "cbpq") && dr.Violations != 0 {
+			t.Fatalf("%s %s run has %d violations", dr.Scheduler, dr.Model, dr.Violations)
 		}
 		if dr.Scheduler == "coarse" && dr.Model == "cluster" && len(dr.PerTenant) == 0 {
 			t.Fatal("cluster run missing per-tenant section")
+		}
+		if dr.BoundSource != wantSource[dr.Scheduler] {
+			t.Fatalf("%s %s bound_source %q, want %q", dr.Scheduler, dr.Model, dr.BoundSource, wantSource[dr.Scheduler])
 		}
 	}
 }

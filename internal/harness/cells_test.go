@@ -29,25 +29,27 @@ var goldenEnum = map[string]struct {
 	cells int
 	hash  string
 }{
-	"table1":    {cells: 4, hash: "401eae429f7ef278"},
-	"table2":    {cells: 96, hash: "582aca57ed89fa32"},
-	"fig1":      {cells: 148, hash: "e2f3731b94843cec"},
-	"fig19":     {cells: 148, hash: "196d82e04271ae80"},
-	"fig2":      {cells: 288, hash: "fbba96de4602b317"},
-	"fig3":      {cells: 208, hash: "b0a768c716c43b23"},
-	"fig7":      {cells: 148, hash: "e0a14e54a3818b66"},
-	"fig9":      {cells: 124, hash: "a79200bd8d862dd1"},
-	"fig11":     {cells: 124, hash: "1014b9dc606037fb"},
-	"fig13":     {cells: 104, hash: "495f816325d25385"},
-	"fig15":     {cells: 20, hash: "83356499777b93dd"},
-	"emq":       {cells: 68, hash: "2203418e19f343b6"},
-	"klsm":      {cells: 24, hash: "f435fd1bc6083ef6"},
-	"geom":      {cells: 72, hash: "3922bfd96a568648"},
-	"numa":      {cells: 124, hash: "a2fbbd07798282a7"},
-	"serve":     {cells: 15, hash: "9818131c5544fa79"},
-	"desim":     {cells: 10, hash: "af94559d8d2b4efe"},
-	"theory":    {cells: 26, hash: "ae60b34c87d6154d"},
-	"rankprobe": {cells: 24, hash: "a14955b609c11024"},
+	"table1": {cells: 4, hash: "401eae429f7ef278"},
+	"table2": {cells: 96, hash: "582aca57ed89fa32"},
+	"fig1":   {cells: 148, hash: "e2f3731b94843cec"},
+	"fig19":  {cells: 148, hash: "196d82e04271ae80"},
+	"fig2":   {cells: 288, hash: "fbba96de4602b317"},
+	"fig3":   {cells: 208, hash: "b0a768c716c43b23"},
+	"fig7":   {cells: 148, hash: "e0a14e54a3818b66"},
+	"fig9":   {cells: 124, hash: "a79200bd8d862dd1"},
+	"fig11":  {cells: 124, hash: "1014b9dc606037fb"},
+	"fig13":  {cells: 104, hash: "495f816325d25385"},
+	"fig15":  {cells: 20, hash: "83356499777b93dd"},
+	"emq":    {cells: 68, hash: "2203418e19f343b6"},
+	"klsm":   {cells: 24, hash: "f435fd1bc6083ef6"},
+	"geom":   {cells: 72, hash: "3922bfd96a568648"},
+	"numa":   {cells: 124, hash: "a2fbbd07798282a7"},
+	"serve":  {cells: 15, hash: "9818131c5544fa79"},
+	"desim":  {cells: 10, hash: "af94559d8d2b4efe"},
+	"theory": {cells: 26, hash: "ae60b34c87d6154d"},
+	// rankprobe gained two cells when the lock-free CBPQ joined
+	// AllSchedulers as a second exact reference point.
+	"rankprobe": {cells: 26, hash: "548fe7d2612adc23"},
 }
 
 func TestCellEnumerationGolden(t *testing.T) {

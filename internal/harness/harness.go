@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/algos"
+	"repro/internal/cbpq"
 	"repro/internal/coarse"
 	"repro/internal/core"
 	"repro/internal/emq"
@@ -245,19 +246,30 @@ func StandardSchedulers() []SchedulerSpec {
 	}
 }
 
-// AllSchedulers is StandardSchedulers plus the coarse-locked global heap
-// strawman — exact priority order, zero scalability — used by the
-// rank-probe experiment as the zero-relaxation reference point. (It is
-// not part of the paper's Figure 2 lineup, so fig2 stays faithful.)
+// AllSchedulers is StandardSchedulers plus the two exact reference
+// points outside the paper's Figure 2 lineup (so fig2 stays faithful):
+// the coarse-locked global heap strawman — exact priority order, zero
+// scalability — and the lock-free CBPQ, exact with no lock at all. The
+// rank-probe and rank-regression experiments use both as
+// zero-relaxation references.
 func AllSchedulers() []SchedulerSpec {
-	return append(StandardSchedulers(), SchedulerSpec{
-		Name:   "CoarseLock",
-		Params: "single global heap",
-		Make: func(workers int, _ uint64) sched.Scheduler[uint32] {
-			return coarse.New[uint32](coarse.Config{Workers: workers})
+	return append(StandardSchedulers(),
+		SchedulerSpec{
+			Name:   "CoarseLock",
+			Params: "single global heap",
+			Make: func(workers int, _ uint64) sched.Scheduler[uint32] {
+				return coarse.New[uint32](coarse.Config{Workers: workers})
+			},
+			Bound: func(int) (int64, bool) { return 0, true },
 		},
-		Bound: func(int) (int64, bool) { return 0, true },
-	})
+		SchedulerSpec{
+			Name:   "CBPQ",
+			Params: "chunk=64 lock-free",
+			Make: func(workers int, _ uint64) sched.Scheduler[uint32] {
+				return cbpq.New[uint32](cbpq.Config{Workers: workers})
+			},
+			Bound: func(int) (int64, bool) { return 0, true },
+		})
 }
 
 // SMQSpec builds a heap-SMQ spec with the given parameters.
@@ -295,6 +307,24 @@ func EMQSpec(name string, stickiness, buffer, numaNodes int) SchedulerSpec {
 // local-LSM capacity; klsm.Strict selects the exact k = 0 queue). The
 // Params label reports the effective k after klsm's normalization, so
 // the zero value is labelled with the default it actually runs.
+// CBPQSpec builds a SchedulerSpec for the lock-free chunk-based
+// priority queue. CBPQ is exact, so its rank bound is 0 regardless of
+// chunk capacity (chunkCap 0 selects the default).
+func CBPQSpec(name string, chunkCap int) SchedulerSpec {
+	params := "lock-free"
+	if chunkCap != 0 {
+		params = fmt.Sprintf("chunk=%d lock-free", chunkCap)
+	}
+	return SchedulerSpec{
+		Name:   name,
+		Params: params,
+		Make: func(workers int, _ uint64) sched.Scheduler[uint32] {
+			return cbpq.New[uint32](cbpq.Config{Workers: workers, ChunkCap: chunkCap})
+		},
+		Bound: func(int) (int64, bool) { return 0, true },
+	}
+}
+
 func KLSMSpec(name string, relaxation int) SchedulerSpec {
 	effective := relaxation
 	if effective == 0 {

@@ -102,6 +102,18 @@ func TestRankErrorRegression(t *testing.T) {
 		t.Errorf("strict k-LSM is not exact: %+v", strictStats)
 	}
 
+	// The lock-free CBPQ claims linearizable exactness (rank bound 0):
+	// a lockstep drain must come out perfectly sorted, at the default
+	// and at a tiny chunk capacity that forces constant freeze/split
+	// and first-chunk rebuilds.
+	for _, chunkCap := range []int{0, 8} {
+		cbpqStats := ProbeRankLockstep(CBPQSpec("CBPQ", chunkCap), workers, tasks)
+		if cbpqStats.MeanDisplacement != 0 || cbpqStats.MaxDisplacement != 0 ||
+			cbpqStats.InversionFrac != 0 {
+			t.Errorf("CBPQ (chunk=%d) is not exact: %+v", chunkCap, cbpqStats)
+		}
+	}
+
 	smqStats := ProbeRankLockstep(SMQSpec("SMQ", 1, 1.0/8, 0), workers, tasks)
 	mqStats := ProbeRankLockstep(SchedulerSpec{Name: "MQ Classic", Make: ClassicMQBaseline},
 		workers, tasks)
@@ -167,6 +179,18 @@ func TestRankErrorRegressionBatched(t *testing.T) {
 	if strictStats.MeanDisplacement != 0 || strictStats.MaxDisplacement != 0 ||
 		strictStats.InversionFrac != 0 {
 		t.Errorf("strict k-LSM is not exact through batches: %+v", strictStats)
+	}
+
+	// CBPQ must stay exact through the batch fast paths too: PopN's
+	// single fetch-and-add claims a consecutive sorted run, so batching
+	// adds no relaxation at all (unlike the k-LSM, whose batched bound
+	// gains a batch-1 term).
+	for _, chunkCap := range []int{0, 8} {
+		cbpqStats := ProbeRankLockstepBatched(CBPQSpec("CBPQ", chunkCap), workers, tasks, batch)
+		if cbpqStats.MeanDisplacement != 0 || cbpqStats.MaxDisplacement != 0 ||
+			cbpqStats.InversionFrac != 0 {
+			t.Errorf("batched CBPQ (chunk=%d) is not exact: %+v", chunkCap, cbpqStats)
+		}
 	}
 
 	t.Logf("batched lockstep mean rank error: EMQ=%.2f kLSM=%.2f (bound %.0f)",

@@ -1,0 +1,231 @@
+package perfbench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file implements the scheduler-by-scheduler comparison behind
+// `benchcheck diff`: given two validated reports (typically the
+// previous committed BENCH_*.json and a freshly generated one), it
+// pairs up the sections they share and flags relative changes beyond a
+// threshold. The diff is informational by design — benchmark numbers
+// from different machines or CI runs are not comparable as pass/fail
+// gates — but a flagged 3× throughput drop on one scheduler while its
+// neighbours hold steady is exactly the regression signal a human
+// should see before committing a new trajectory artifact.
+
+// DiffEntry is one (scheduler, metric) comparison between two reports.
+type DiffEntry struct {
+	// Scheduler names the paired entry; desim rows use
+	// "scheduler/model" keys.
+	Scheduler string
+	// Metric is the compared quantity ("throughput_ops_per_sec",
+	// "batched_throughput_ops_per_sec", "pop_latency_p99_ns",
+	// "serve_throughput_tasks_per_sec", "desim_events_per_sec").
+	Metric string
+	// Old and New are the two values; Delta is (new−old)/old.
+	Old, New, Delta float64
+	// Regression marks a flagged change in the harmful direction
+	// (throughput down, latency up); Flagged marks any change beyond
+	// the threshold, improvements included.
+	Flagged, Regression bool
+}
+
+// DiffReport is the full comparison of two reports.
+type DiffReport struct {
+	// Threshold is the relative-change flag level the diff ran with.
+	Threshold float64
+	// Entries holds every paired comparison, flagged or not, sorted by
+	// scheduler then metric.
+	Entries []DiffEntry
+	// OnlyOld / OnlyNew list section keys present in one report but
+	// not the other (lineup drift — e.g. a new scheduler tier joining
+	// the trajectory).
+	OnlyOld, OnlyNew []string
+}
+
+// Flagged returns the entries whose relative change exceeds the
+// threshold.
+func (d *DiffReport) Flagged() []DiffEntry {
+	var out []DiffEntry
+	for _, e := range d.Entries {
+		if e.Flagged {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Regressions returns the flagged entries whose change points the
+// harmful way (throughput down, latency up).
+func (d *DiffReport) Regressions() []DiffEntry {
+	var out []DiffEntry
+	for _, e := range d.Entries {
+		if e.Regression {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// lowerIsBetter reports whether a metric improves downward (latencies)
+// rather than upward (throughputs).
+func lowerIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "_ns")
+}
+
+// DefaultDiffThreshold is the relative change (25%) at which a paired
+// metric is flagged. Microbenchmark noise across runs of the same code
+// sits well under this on an idle machine; same-machine regressions
+// worth a look sit well over it.
+const DefaultDiffThreshold = 0.25
+
+// Diff compares two validated reports section by section. A threshold
+// <= 0 selects DefaultDiffThreshold. Sections missing from either
+// report are skipped entirely (a desim-only artifact diffed against a
+// microbenchmark artifact produces no entries, only OnlyOld/OnlyNew
+// keys), so the diff never manufactures comparisons the data cannot
+// support.
+func Diff(old, new_ *Report, threshold float64) *DiffReport {
+	if threshold <= 0 {
+		threshold = DefaultDiffThreshold
+	}
+	d := &DiffReport{Threshold: threshold}
+
+	add := func(key, metric string, ov, nv float64) {
+		if ov <= 0 || nv <= 0 {
+			return // section/schema gap, not a measurement
+		}
+		delta := (nv - ov) / ov
+		e := DiffEntry{Scheduler: key, Metric: metric, Old: ov, New: nv, Delta: delta}
+		if math.Abs(delta) > threshold {
+			e.Flagged = true
+			if lowerIsBetter(metric) {
+				e.Regression = delta > 0
+			} else {
+				e.Regression = delta < 0
+			}
+		}
+		d.Entries = append(d.Entries, e)
+	}
+
+	// Pair each section on its natural key; record lineup drift.
+	pair := func(section string, oldKeys, newKeys []string, emit func(key string)) {
+		on := make(map[string]bool, len(oldKeys))
+		for _, k := range oldKeys {
+			on[k] = true
+		}
+		nn := make(map[string]bool, len(newKeys))
+		for _, k := range newKeys {
+			nn[k] = true
+			if on[k] {
+				emit(k)
+			} else {
+				d.OnlyNew = append(d.OnlyNew, section+":"+k)
+			}
+		}
+		for _, k := range oldKeys {
+			if !nn[k] {
+				d.OnlyOld = append(d.OnlyOld, section+":"+k)
+			}
+		}
+	}
+
+	oldRes := make(map[string]*Result, len(old.Results))
+	newRes := make(map[string]*Result, len(new_.Results))
+	for i := range old.Results {
+		oldRes[old.Results[i].Scheduler] = &old.Results[i]
+	}
+	for i := range new_.Results {
+		newRes[new_.Results[i].Scheduler] = &new_.Results[i]
+	}
+	pair("results", keys(oldRes), keys(newRes), func(k string) {
+		o, n := oldRes[k], newRes[k]
+		add(k, "throughput_ops_per_sec", o.ThroughputOpsPerSec, n.ThroughputOpsPerSec)
+		add(k, "batched_throughput_ops_per_sec", o.BatchedThroughputOpsPerSec, n.BatchedThroughputOpsPerSec)
+		add(k, "pop_latency_p99_ns", o.PopP99Ns, n.PopP99Ns)
+	})
+
+	oldServe := make(map[string]*ServeResult, len(old.Serve))
+	newServe := make(map[string]*ServeResult, len(new_.Serve))
+	for i := range old.Serve {
+		oldServe[old.Serve[i].Scheduler] = &old.Serve[i]
+	}
+	for i := range new_.Serve {
+		newServe[new_.Serve[i].Scheduler] = &new_.Serve[i]
+	}
+	pair("serve", keys(oldServe), keys(newServe), func(k string) {
+		add(k, "serve_throughput_tasks_per_sec", oldServe[k].ThroughputTasksPerSec, newServe[k].ThroughputTasksPerSec)
+	})
+
+	oldDesim := make(map[string]*DesimResult, len(old.Desim))
+	newDesim := make(map[string]*DesimResult, len(new_.Desim))
+	for i := range old.Desim {
+		dr := &old.Desim[i]
+		oldDesim[dr.Scheduler+"/"+dr.Model] = dr
+	}
+	for i := range new_.Desim {
+		dr := &new_.Desim[i]
+		newDesim[dr.Scheduler+"/"+dr.Model] = dr
+	}
+	pair("desim", keys(oldDesim), keys(newDesim), func(k string) {
+		add(k, "desim_events_per_sec", oldDesim[k].EventsPerSec, newDesim[k].EventsPerSec)
+	})
+
+	sort.Slice(d.Entries, func(i, j int) bool {
+		a, b := d.Entries[i], d.Entries[j]
+		if a.Scheduler != b.Scheduler {
+			return a.Scheduler < b.Scheduler
+		}
+		return a.Metric < b.Metric
+	})
+	sort.Strings(d.OnlyOld)
+	sort.Strings(d.OnlyNew)
+	return d
+}
+
+// keys returns a map's keys in arbitrary order (pair sorts drift lists
+// and Diff sorts entries at the end).
+func keys[V any](m map[string]*V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Format renders the diff as an aligned text table: flagged rows carry
+// a "!" marker ("!!" for regressions), lineup drift is listed at the
+// end. onlyFlagged restricts the table to flagged rows.
+func (d *DiffReport) Format(onlyFlagged bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-2s %-16s %-32s %14s %14s %8s\n", "", "scheduler", "metric", "old", "new", "delta")
+	rows := 0
+	for _, e := range d.Entries {
+		if onlyFlagged && !e.Flagged {
+			continue
+		}
+		mark := ""
+		if e.Regression {
+			mark = "!!"
+		} else if e.Flagged {
+			mark = "!"
+		}
+		fmt.Fprintf(&b, "%-2s %-16s %-32s %14.4g %14.4g %+7.1f%%\n",
+			mark, e.Scheduler, e.Metric, e.Old, e.New, 100*e.Delta)
+		rows++
+	}
+	if rows == 0 {
+		fmt.Fprintf(&b, "   (no %scomparable entries)\n", map[bool]string{true: "flagged ", false: ""}[onlyFlagged])
+	}
+	for _, k := range d.OnlyOld {
+		fmt.Fprintf(&b, "-  %s only in old report\n", k)
+	}
+	for _, k := range d.OnlyNew {
+		fmt.Fprintf(&b, "+  %s only in new report\n", k)
+	}
+	return b.String()
+}

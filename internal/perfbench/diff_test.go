@@ -1,0 +1,140 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffFixtures() (*Report, *Report) {
+	old := &Report{
+		SchemaVersion: SchemaVersion,
+		Results: []Result{
+			{Scheduler: "coarse", ThroughputOpsPerSec: 1000, BatchedThroughputOpsPerSec: 4000, PopP99Ns: 800},
+			{Scheduler: "smq", ThroughputOpsPerSec: 8000, BatchedThroughputOpsPerSec: 20000, PopP99Ns: 300},
+			{Scheduler: "obim", ThroughputOpsPerSec: 5000},
+		},
+		Desim: []DesimResult{
+			{Scheduler: "coarse", Model: "cluster", EventsPerSec: 1e6},
+		},
+	}
+	new_ := &Report{
+		SchemaVersion: SchemaVersion,
+		Results: []Result{
+			// Throughput down 50% (regression), p99 up 3x (regression).
+			{Scheduler: "coarse", ThroughputOpsPerSec: 500, BatchedThroughputOpsPerSec: 4100, PopP99Ns: 2400},
+			// All within noise.
+			{Scheduler: "smq", ThroughputOpsPerSec: 8200, BatchedThroughputOpsPerSec: 19000, PopP99Ns: 310},
+			// New tier, absent from the old report.
+			{Scheduler: "cbpq", ThroughputOpsPerSec: 900, BatchedThroughputOpsPerSec: 3000, PopP99Ns: 900},
+		},
+		Desim: []DesimResult{
+			// 2x faster — flagged, but an improvement, not a regression.
+			{Scheduler: "coarse", Model: "cluster", EventsPerSec: 2e6},
+		},
+	}
+	return old, new_
+}
+
+func TestDiffFlagsAndDirections(t *testing.T) {
+	old, new_ := diffFixtures()
+	d := Diff(old, new_, 0.25)
+
+	get := func(sched, metric string) DiffEntry {
+		t.Helper()
+		for _, e := range d.Entries {
+			if e.Scheduler == sched && e.Metric == metric {
+				return e
+			}
+		}
+		t.Fatalf("no entry for %s/%s", sched, metric)
+		return DiffEntry{}
+	}
+
+	if e := get("coarse", "throughput_ops_per_sec"); !e.Flagged || !e.Regression || e.Delta > -0.49 {
+		t.Errorf("halved throughput not flagged as regression: %+v", e)
+	}
+	if e := get("coarse", "pop_latency_p99_ns"); !e.Flagged || !e.Regression {
+		t.Errorf("tripled p99 not flagged as regression: %+v", e)
+	}
+	if e := get("coarse", "batched_throughput_ops_per_sec"); e.Flagged {
+		t.Errorf("2.5%% batched change flagged: %+v", e)
+	}
+	if e := get("smq", "throughput_ops_per_sec"); e.Flagged {
+		t.Errorf("2.5%% change flagged: %+v", e)
+	}
+	// Faster desim is flagged (big change) but not a regression.
+	if e := get("coarse/cluster", "desim_events_per_sec"); !e.Flagged || e.Regression {
+		t.Errorf("2x desim speedup misclassified: %+v", e)
+	}
+
+	// obim's old entry lacks the schema>=2 fields: only the scalar
+	// throughput pairs, and only until the scheduler leaves the lineup.
+	if got := len(d.OnlyOld); got != 1 || d.OnlyOld[0] != "results:obim" {
+		t.Errorf("OnlyOld = %v, want [results:obim]", d.OnlyOld)
+	}
+	if got := len(d.OnlyNew); got != 1 || d.OnlyNew[0] != "results:cbpq" {
+		t.Errorf("OnlyNew = %v, want [results:cbpq]", d.OnlyNew)
+	}
+
+	if got, want := len(d.Regressions()), 2; got != want {
+		t.Errorf("got %d regressions, want %d: %+v", got, want, d.Regressions())
+	}
+	if got := len(d.Flagged()); got != 3 {
+		t.Errorf("got %d flagged entries, want 3: %+v", got, d.Flagged())
+	}
+}
+
+func TestDiffDefaultThresholdAndSorting(t *testing.T) {
+	old, new_ := diffFixtures()
+	d := Diff(old, new_, 0)
+	if d.Threshold != DefaultDiffThreshold {
+		t.Fatalf("threshold = %g, want default %g", d.Threshold, DefaultDiffThreshold)
+	}
+	for i := 1; i < len(d.Entries); i++ {
+		a, b := d.Entries[i-1], d.Entries[i]
+		if a.Scheduler > b.Scheduler || (a.Scheduler == b.Scheduler && a.Metric > b.Metric) {
+			t.Fatalf("entries not sorted: %v before %v", a, b)
+		}
+	}
+}
+
+// TestDiffDisjointSections: a desim-only artifact against a
+// microbenchmark-only artifact has nothing to pair — the diff must
+// report lineup drift, not invent comparisons.
+func TestDiffDisjointSections(t *testing.T) {
+	old := &Report{Desim: []DesimResult{{Scheduler: "coarse", Model: "dag", EventsPerSec: 1e6}}}
+	new_ := &Report{Results: []Result{{Scheduler: "coarse", ThroughputOpsPerSec: 1000}}}
+	d := Diff(old, new_, 0)
+	if len(d.Entries) != 0 {
+		t.Fatalf("disjoint sections produced entries: %+v", d.Entries)
+	}
+	if len(d.OnlyOld) != 1 || len(d.OnlyNew) != 1 {
+		t.Fatalf("drift lists = %v / %v, want one key each", d.OnlyOld, d.OnlyNew)
+	}
+	out := d.Format(false)
+	if !strings.Contains(out, "no comparable entries") {
+		t.Fatalf("Format of empty diff missing placeholder:\n%s", out)
+	}
+}
+
+func TestDiffFormat(t *testing.T) {
+	old, new_ := diffFixtures()
+	d := Diff(old, new_, 0.25)
+	full := d.Format(false)
+	for _, want := range []string{
+		"!! coarse", "pop_latency_p99_ns", "+200.0%",
+		"-  results:obim only in old report",
+		"+  results:cbpq only in new report",
+	} {
+		if !strings.Contains(full, want) {
+			t.Errorf("Format missing %q:\n%s", want, full)
+		}
+	}
+	flagged := d.Format(true)
+	if strings.Contains(flagged, "smq") {
+		t.Errorf("flagged-only format includes unflagged smq rows:\n%s", flagged)
+	}
+	if !strings.Contains(flagged, "coarse/cluster") {
+		t.Errorf("flagged-only format missing flagged desim row:\n%s", flagged)
+	}
+}

@@ -52,11 +52,16 @@ import (
 //	    per-tenant simulated sojourn percentiles). A version-5 report
 //	    may carry any non-empty combination of
 //	    Results / Serve / Experiments / Desim.
+//	6 — adds "bound_source" on desim runs (exact / expectation /
+//	    unchecked), making the provenance of the causality window
+//	    explicit: an unchecked run records throughput but makes no
+//	    safety claim, and the label must agree with the
+//	    rank_bound/lookahead fields it summarizes.
 //
-// Validate is version-gated: committed version-1 through version-4
-// trajectory files (BENCH_PR7.json and earlier) remain valid without
+// Validate is version-gated: committed version-1 through version-5
+// trajectory files (BENCH_PR8.json and earlier) remain valid without
 // the newer fields.
-const SchemaVersion = 5
+const SchemaVersion = 6
 
 // Report is the top-level JSON document.
 type Report struct {
@@ -131,6 +136,12 @@ type DesimResult struct {
 	// Lookahead is the safe-lookahead window the run was checked
 	// against, in rank units (-1 = unchecked).
 	Lookahead int64 `json:"lookahead"`
+	// BoundSource labels where the window came from (schema >= 6):
+	// "exact" (worst-case rank-bound guarantee — zero violations is a
+	// hard validation rule), "expectation" (expectation-scale estimate
+	// — violations are informative, not fatal), or "unchecked"
+	// (lookahead −1: no usable bound, no causality claim).
+	BoundSource string `json:"bound_source,omitempty"`
 	// Violations counts pops that ran ahead of the window while
 	// smaller-timestamp events were still pending.
 	Violations uint64 `json:"causality_violations"`
@@ -312,10 +323,11 @@ func (c *Config) normalize() {
 }
 
 // Lineup returns the scheduler names measured by default, in report
-// order: the exact baseline, the Multi-Queue family, the SMQ, and the
-// non-Multi-Queue relaxed baselines.
+// order: the exact baselines (lock-based coarse, then the lock-free
+// CBPQ), the Multi-Queue family, the SMQ, and the non-Multi-Queue
+// relaxed baselines.
 func Lineup() []string {
-	return []string{"coarse", "mq", "mq-batch", "emq", "smq", "klsm", "obim", "spray"}
+	return []string{"coarse", "cbpq", "mq", "mq-batch", "emq", "smq", "klsm", "obim", "spray"}
 }
 
 // build constructs the named scheduler for w workers via the zoo
@@ -681,7 +693,7 @@ func Validate(r *Report) error {
 	seenDesim := make(map[string]bool, len(r.Desim))
 	for i := range r.Desim {
 		dr := &r.Desim[i]
-		if err := validateDesim(dr); err != nil {
+		if err := validateDesim(dr, r.SchemaVersion); err != nil {
 			return err
 		}
 		key := dr.Scheduler + "/" + dr.Model
@@ -699,11 +711,33 @@ func Validate(r *Report) error {
 // report zero causality violations — a violation there means either the
 // scheduler or the window derivation is wrong, and the artifact must
 // not be committable.
-func validateDesim(dr *DesimResult) error {
+func validateDesim(dr *DesimResult, schemaVersion int) error {
 	if dr.Scheduler == "" || dr.Model == "" {
 		return fmt.Errorf("perfbench: desim result with empty scheduler/model name")
 	}
 	tag := dr.Scheduler + "/" + dr.Model
+	// BoundSource (schema >= 6) must exist and agree with the fields it
+	// summarizes; version-5 artifacts legitimately predate it.
+	if schemaVersion >= 6 || dr.BoundSource != "" {
+		switch dr.BoundSource {
+		case "exact":
+			if !dr.BoundExact || dr.RankBound < 0 || dr.Lookahead < 0 {
+				return fmt.Errorf("perfbench: desim %s: bound_source exact contradicts bound_exact=%t rank_bound=%d lookahead=%d",
+					tag, dr.BoundExact, dr.RankBound, dr.Lookahead)
+			}
+		case "expectation":
+			if dr.BoundExact || dr.Lookahead < 0 {
+				return fmt.Errorf("perfbench: desim %s: bound_source expectation contradicts bound_exact=%t lookahead=%d",
+					tag, dr.BoundExact, dr.Lookahead)
+			}
+		case "unchecked":
+			if dr.Lookahead >= 0 {
+				return fmt.Errorf("perfbench: desim %s: bound_source unchecked but lookahead %d >= 0", tag, dr.Lookahead)
+			}
+		default:
+			return fmt.Errorf("perfbench: desim %s: bound_source %q, want exact/expectation/unchecked", tag, dr.BoundSource)
+		}
+	}
 	if dr.Workers < 1 {
 		return fmt.Errorf("perfbench: desim %s: workers = %d", tag, dr.Workers)
 	}

@@ -9,6 +9,7 @@ package sched_test
 import (
 	"testing"
 
+	"repro/internal/cbpq"
 	"repro/internal/coarse"
 	"repro/internal/core"
 	"repro/internal/emq"
@@ -84,6 +85,14 @@ func TestConfigValidation(t *testing.T) {
 			build: func() sched.Scheduler[int] { return coarse.New[int](coarse.Config{Workers: 2}) }},
 		{name: "coarse/zero workers", cfg: coarse.Config{}, valid: false},
 		{name: "coarse/HeapArity 1", cfg: coarse.Config{Workers: 2, HeapArity: 1}, valid: false},
+
+		// Lock-free CBPQ
+		{name: "cbpq/valid", cfg: cbpq.Config{Workers: 2}, valid: true,
+			build: func() sched.Scheduler[int] { return cbpq.New[int](cbpq.Config{Workers: 2}) }},
+		{name: "cbpq/valid small chunk", cfg: cbpq.Config{Workers: 2, ChunkCap: 4}, valid: true},
+		{name: "cbpq/zero workers", cfg: cbpq.Config{}, valid: false},
+		{name: "cbpq/ChunkCap below 4", cfg: cbpq.Config{Workers: 2, ChunkCap: 3}, valid: false},
+		{name: "cbpq/ChunkCap above 65536", cfg: cbpq.Config{Workers: 2, ChunkCap: 1 << 17}, valid: false},
 	}
 
 	for _, tc := range cases {

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/cbpq"
 	"repro/internal/coarse"
 	"repro/internal/core"
 	"repro/internal/emq"
@@ -62,6 +63,7 @@ var rootConstructorsCovered = []string{
 	"NewOBIM",
 	"NewPMOD",
 	"NewSprayList",
+	"NewCBPQ",
 }
 
 // conformanceSchedulers lists every scheduler constructor in the repo,
@@ -111,6 +113,13 @@ func conformanceSchedulers() []conformanceCase {
 		}},
 		{"CoarseLock", nil, func(w int) sched.Scheduler[uint32] {
 			return coarse.New[uint32](coarse.Config{Workers: w})
+		}},
+		{"CBPQ/default", []string{"NewCBPQ"}, func(w int) sched.Scheduler[uint32] {
+			return cbpq.New[uint32](cbpq.Config{Workers: w})
+		}},
+		{"CBPQ/chunk8", nil, func(w int) sched.Scheduler[uint32] {
+			// Tiny chunks force constant freeze/split/rebuild races.
+			return cbpq.New[uint32](cbpq.Config{Workers: w, ChunkCap: 8})
 		}},
 		{"EMQ/default", []string{"NewEngineeredMQ"}, func(w int) sched.Scheduler[uint32] {
 			return emq.New[uint32](emq.Config{Workers: w})

@@ -1,0 +1,157 @@
+package sched_test
+
+// Count-conservation stress for the whole zoo, added with the lock-free
+// tier: a concurrent mixed scalar/batch workload (Push, Pop, PushN,
+// PopN interleaved per worker) followed by a Pending-driven drain must
+// end with every pushed task popped exactly once —
+// pushed == popped + remaining, and remaining == 0 after the drain.
+// The scalar conformance suite already checks lost/duplicated tasks for
+// scalar traffic; this suite mixes the batch fast paths into the same
+// run (a batch reservation that leaks or double-publishes slots is
+// invisible to scalar-only traffic) and adds an oversubscribed variant
+// (more runnable threads than GOMAXPROCS) so threads get preempted
+// inside publication windows — the progress-sensitive interleavings a
+// spinlock scheduler never exhibits.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// conserveMixed runs the mixed workload over one scheduler and checks
+// conservation. Each worker publishes perWorker tasks (alternating
+// scalar pushes and PushN batches), pops opportunistically along the
+// way (alternating Pop and PopN), then drains via Pending.
+func conserveMixed(t *testing.T, s sched.Scheduler[uint32], workers, perWorker int) {
+	t.Helper()
+	total := workers * perWorker
+	seen := make([]atomic.Int32, total)
+	var pending sched.Pending
+	pending.Inc(int64(total))
+	var popped atomic.Int64
+
+	record := func(t_ *testing.T, v uint32) {
+		if int(v) >= total {
+			t_.Errorf("implausible task id %d", v)
+			return
+		}
+		if seen[v].Add(1) != 1 {
+			t_.Errorf("task %d popped more than once", v)
+		}
+		popped.Add(1)
+		pending.Dec()
+	}
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := s.Worker(wid)
+			next := 0
+			step := 0
+			dst := make([]sched.Task[uint32], 7)
+			ps := make([]uint64, 0, 5)
+			vs := make([]uint32, 0, 5)
+			var b sched.Backoff
+			for {
+				if next < perWorker {
+					if step%2 == 0 {
+						v := uint32(wid*perWorker + next)
+						w.Push(uint64(v%509), v)
+						next++
+					} else {
+						n := min(5, perWorker-next)
+						ps, vs = ps[:0], vs[:0]
+						for j := 0; j < n; j++ {
+							v := uint32(wid*perWorker + next)
+							ps = append(ps, uint64(v%509))
+							vs = append(vs, v)
+							next++
+						}
+						w.PushN(ps, vs)
+					}
+				}
+				step++
+				var got bool
+				if step%2 == 0 {
+					if n := w.PopN(dst); n > 0 {
+						for _, it := range dst[:n] {
+							record(t, it.V)
+						}
+						got = true
+					}
+				} else if _, v, ok := w.Pop(); ok {
+					record(t, v)
+					got = true
+				}
+				if got {
+					b.Reset()
+					continue
+				}
+				if next < perWorker {
+					continue // still have our own tasks to publish
+				}
+				if pending.Done() {
+					return
+				}
+				b.Wait()
+			}
+		}(wid)
+	}
+	wg.Wait()
+
+	// remaining == 0 by Pending.Done; conservation is then
+	// pushed == popped exactly.
+	if got := popped.Load(); got != int64(total) {
+		t.Fatalf("conservation: pushed %d, popped %d", total, got)
+	}
+	for v := range seen {
+		if seen[v].Load() != 1 {
+			t.Fatalf("task %d popped %d times", v, seen[v].Load())
+		}
+	}
+	st := s.Stats()
+	if st.Pushes != uint64(total) || st.Pops != uint64(total) {
+		t.Fatalf("stats conservation: pushes=%d pops=%d, want %d each", st.Pushes, st.Pops, total)
+	}
+}
+
+// TestConservationMixedBatch runs the mixed scalar+batch conservation
+// workload over every zoo configuration.
+func TestConservationMixedBatch(t *testing.T) {
+	workers := 4
+	perWorker := 3000
+	if testing.Short() {
+		perWorker = 400
+	}
+	for _, tc := range conformanceSchedulers() {
+		t.Run(tc.name, func(t *testing.T) {
+			conserveMixed(t, tc.mk(workers), workers, perWorker)
+		})
+	}
+}
+
+// TestConservationOversubscribed reruns the mixed workload with more
+// worker goroutines than GOMAXPROCS, so workers are preempted inside
+// critical windows (between a slot reservation and its publication, or
+// while holding a spinlock). Progress bugs of that shape never surface
+// when every worker owns a core.
+func TestConservationOversubscribed(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	workers := 8
+	perWorker := 800
+	if testing.Short() {
+		perWorker = 200
+	}
+	for _, tc := range conformanceSchedulers() {
+		t.Run(tc.name, func(t *testing.T) {
+			conserveMixed(t, tc.mk(workers), workers, perWorker)
+		})
+	}
+}

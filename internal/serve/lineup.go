@@ -9,10 +9,11 @@ import (
 
 // Lineup returns the scheduler names Build understands — the serving
 // benchmark's historical default selection of the zoo registry, in zoo
-// order. Build accepts any zoo name, including ones outside this
+// order (the lock-free cbpq rides directly after the coarse exact
+// baseline). Build accepts any zoo name, including ones outside this
 // default slate.
 func Lineup() []string {
-	return []string{"coarse", "mq", "mq-batch", "emq", "smq", "klsm", "obim", "spray"}
+	return []string{"coarse", "cbpq", "mq", "mq-batch", "emq", "smq", "klsm", "obim", "spray"}
 }
 
 // Build constructs the named scheduler for w worker slots, instantiated

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/bits"
 
+	"repro/internal/cbpq"
 	"repro/internal/coarse"
 	"repro/internal/core"
 	"repro/internal/emq"
@@ -69,7 +70,7 @@ func (s Spec[T]) RankBound(workers int) (bound int64, exact bool) {
 
 // Names returns the registry's scheduler names in lineup order.
 func Names() []string {
-	names := make([]string, 0, 11)
+	names := make([]string, 0, 12)
 	for _, s := range Lineup[struct{}]() {
 		names = append(names, s.Name)
 	}
@@ -91,7 +92,7 @@ func Lookup[T any](name string) (Spec[T], bool) {
 // against the constructors the root package actually exports, so a new
 // scheduler cannot land without a registry entry.
 func Constructors() map[string]string {
-	out := make(map[string]string, 11)
+	out := make(map[string]string, 12)
 	for _, s := range Lineup[struct{}]() {
 		out[s.Name] = s.Constructor
 	}
@@ -110,6 +111,15 @@ func Lineup[T any]() []Spec[T] {
 			Make: func(w int, _ uint64) sched.Scheduler[T] {
 				return coarse.New[T](coarse.Config{Workers: w})
 			},
+			Bound: func(int) (int64, bool) { return 0, true },
+		},
+		{
+			Name: "cbpq", Params: "chunk=64 lock-free", Constructor: "NewCBPQ",
+			Make: func(w int, _ uint64) sched.Scheduler[T] {
+				return cbpq.New[T](cbpq.Config{Workers: w})
+			},
+			// Linearizable-exact like the coarse baseline, but
+			// non-blocking: the lock-free tier's rank bound is 0.
 			Bound: func(int) (int64, bool) { return 0, true },
 		},
 		{

@@ -67,6 +67,7 @@ func TestRankBounds(t *testing.T) {
 		exact bool
 	}{
 		"coarse": {0, true},
+		"cbpq":   {0, true},
 		"klsm":   {3*256 + 4, true},
 		"obim":   {-1, false},
 		"pmod":   {-1, false},

@@ -176,6 +176,46 @@
 // with a Pending counter; see the SSSP and other drivers in this package
 // for the canonical pattern.
 //
+// # Lock-free tier
+//
+// Every scheduler above serializes somewhere through a spinlock: the
+// Multi-Queue family locks the sampled heap (try-lock first, but the
+// winner still holds it), the k-LSM locks its global-LSM merges, and
+// the coarse baseline is one big lock. Their progress guarantee is
+// therefore blocking — a descheduled lock holder stalls every worker
+// that samples its queue. NewCBPQ adds the genuinely non-blocking tier:
+// a CAS-based chunk-based priority queue (Braginsky, Cohen and
+// Petrank, Euro-Par 2016) in which every operation completes in a
+// bounded number of steps unless some other operation succeeded — the
+// lock-free guarantee — and Stats().LockFails counts CAS failures
+// because there is no lock to fail. It is the honest competitor the
+// MultiQueue papers position themselves against, and it is exact
+// (rank bound 0, like the coarse baseline and the strict k-LSM).
+//
+// The shape of the structure is a short chain of fixed-capacity chunks
+// partitioned by priority range: a sorted first chunk consumed by a
+// fetch-and-add on its delete index (pop takes no lock and retries no
+// CAS on the hot path), interior chunks accepting inserts via a
+// count-word CAS, and an insertion buffer for priorities that belong
+// in the first chunk's range. A full or contended chunk is never
+// mutated in place: it is frozen (one atomic Or, after which its
+// membership is immutable), replacement chunks are built privately,
+// and a single root CAS publishes the new structure — split for a full
+// interior chunk, first-chunk rebuild for a drained head or a buffered
+// small-priority insert. Any thread can help complete a frozen
+// structure's replacement, which is what makes the design lock-free.
+//
+// Bulk operations have chunk-granular meaning without a lock to batch
+// under: PopN claims n consecutive sorted slots with ONE fetch-and-add
+// on the delete index, and PushN sorts its batch once and publishes
+// each same-chunk run with ONE count-word CAS — the reservation is the
+// atomic, the element copies are plain stores behind per-slot ready
+// flags. The trade-off relative to the lock-based tier is allocation
+// and the decremental-key worst case: published chunks cannot be
+// pooled without epoch reclamation, and an insert below the first
+// chunk's range forces a first-chunk rebuild (see internal/cbpq's
+// package documentation and alloc gates for the amortized bounds).
+//
 // # Running experiments
 //
 // cmd/smqbench regenerates the paper's tables and figures. Every
@@ -208,6 +248,7 @@ import (
 	"sync"
 
 	"repro/internal/algos"
+	"repro/internal/cbpq"
 	"repro/internal/core"
 	"repro/internal/emq"
 	"repro/internal/geom"
@@ -267,6 +308,10 @@ const KLSMStrict = klsm.Strict
 
 // OBIMConfig configures the OBIM and PMOD baselines.
 type OBIMConfig = obim.Config
+
+// CBPQConfig configures the lock-free chunk-based priority queue
+// (fixed chunk capacity; see the Lock-free tier section above).
+type CBPQConfig = cbpq.Config
 
 // SprayConfig configures the SprayList baseline.
 type SprayConfig = spray.Config
@@ -342,6 +387,17 @@ func NewPMOD[T any](cfg OBIMConfig) Scheduler[T] {
 // NewSprayList builds the SprayList baseline.
 func NewSprayList[T any](cfg SprayConfig) Scheduler[T] {
 	return spray.New[T](cfg)
+}
+
+// NewCBPQ builds the lock-free chunk-based priority queue of
+// Braginsky, Cohen and Petrank (Euro-Par 2016): fixed-capacity chunks
+// partitioned by priority range, a sorted first chunk consumed by
+// fetch-and-add, CAS-published inserts with a freeze/split protocol,
+// and chunk-granular lock-free PushN/PopN fast paths. Exact (rank
+// bound 0) and non-blocking; see the package documentation's Lock-free
+// tier section.
+func NewCBPQ[T any](cfg CBPQConfig) Scheduler[T] {
+	return cbpq.New[T](cfg)
 }
 
 // Spec is a named scheduler: a factory plus the scheduler's rank-error

@@ -20,6 +20,7 @@ func TestPublicAPISchedulers(t *testing.T) {
 		"klsm_strict": func() Scheduler[int] {
 			return NewKLSM[int](KLSMConfig{Workers: 2, Relaxation: KLSMStrict})
 		},
+		"cbpq":  func() Scheduler[int] { return NewCBPQ[int](CBPQConfig{Workers: 2}) },
 		"obim":  func() Scheduler[int] { return NewOBIM[int](OBIMConfig{Workers: 2}) },
 		"pmod":  func() Scheduler[int] { return NewPMOD[int](OBIMConfig{Workers: 2}) },
 		"spray": func() Scheduler[int] { return NewSprayList[int](SprayConfig{Workers: 2}) },

@@ -45,9 +45,9 @@ func BenchmarkCBPQ_Batch(b *testing.B) {
 	}
 }
 
-// BenchmarkCBPQ_Pop measures the hot pop path alone (fetch-and-add +
-// claim CAS, rebuild amortized over ChunkCap pops), refilling outside
-// the timer whenever the queue drains.
+// BenchmarkCBPQ_Pop measures the hot pop path alone (one claiming
+// fetch-and-add, rebuild amortized over ChunkCap pops), refilling
+// outside the timer whenever the queue drains.
 func BenchmarkCBPQ_Pop(b *testing.B) {
 	q := New[int](Config{Workers: 1})
 	w := q.Worker(0)

@@ -23,9 +23,15 @@
 //		spine{ head, buf, live[] }
 //
 //	  - head is the sorted first chunk. Pop is one fetch-and-add on
-//	    head.idx plus one claim CAS on the slot's flag; claim states are
-//	    terminal (free → taken by a popper, free → frozen by a rebuild),
-//	    so the survivor set of a drained head is deterministic.
+//	    head.idx, and the returned index IS the claim — there is no
+//	    per-slot state. A rebuild freezes the head through the same
+//	    word (one Or setting a high freeze bit), so the count the Or
+//	    observes is a clean cut: every smaller index was handed to a
+//	    popper before the freeze and is an already-linearized pop,
+//	    while no index at or above the cut can ever be claimed because
+//	    later fetch-and-adds return the freeze bit. The survivor set
+//	    items[cut:n] is therefore exact — a pop can never return slot i
+//	    while a smaller unclaimed slot stays in the queue.
 //	  - live[] are the interior chunks, ascending by their range lower
 //	    bound min; an insert with priority p targets the last chunk with
 //	    min <= p and CAS-bumps its count word, then release-publishes the
@@ -40,9 +46,11 @@
 // # Freeze / split / rebuild
 //
 // Structural changes never mutate a published chunk's membership; they
-// freeze it (one atomic Or setting the freeze bit, then waiting out the
-// in-flight publication windows), build replacement chunks privately,
-// and CAS the root to a new spine. The CAS is the single linearization
+// freeze it with one atomic Or — on the ctl word of a live chunk or
+// buf (then wait out in-flight publication windows), on the idx word
+// of the head (the observed count is the claim cut, published for
+// helpers) — build replacement chunks privately, and CAS the root to a
+// new spine. The CAS is the single linearization
 // point; losers recycle their never-published candidate chunks into a
 // per-worker freelist (published chunks are never pooled, so the root
 // CAS cannot ABA) and retry against the new spine. A full interior
@@ -66,10 +74,11 @@
 // # Progress and allocation
 //
 // Every CAS failure implies another operation succeeded, so pushes,
-// pops and structural changes are lock-free; the only unbounded wait is
-// the publication window between a count reservation and its ready
-// flag, which a frozen-chunk reader spins out with Gosched (bounded by
-// the reserving thread being scheduled, as in the original CBPQ's
+// pops and structural changes are lock-free; the only unbounded waits
+// are publication windows — between a count reservation and its ready
+// flag, and between the winning head-freeze Or and its cut store —
+// which a frozen-chunk reader spins out with Gosched (bounded by the
+// publishing thread being scheduled, as in the original CBPQ's
 // frozenness wait). Steady-state allocation is amortized O(1/ChunkCap)
 // chunks per operation: rebuilds allocate a handful of chunks per
 // ChunkCap pops, CAS losers recycle through the per-worker freelist,
@@ -97,14 +106,22 @@ const DefaultChunkCap = 64
 // chunks (CAS losers); beyond this they are dropped for the GC.
 const maxFreeChunks = 8
 
-// Slot flag states. Head slots move free → taken (popper claim) or
-// free → frozen (rebuild); both transitions are terminal. Live-chunk
-// slots move free → ready when the reserved slot's item is published.
+// Live-chunk slot flags: a reserved slot moves free → ready when its
+// item has been published. Head chunks carry no per-slot state at all —
+// the pop fetch-and-add is the claim, and freezing goes through the idx
+// word (see freezeHead).
 const (
-	slotFree   uint32 = 0
-	slotTaken  uint32 = 1
-	slotReady  uint32 = 1
-	slotFrozen uint32 = 2
+	slotFree  uint32 = 0
+	slotReady uint32 = 1
+)
+
+// headFrozen is the freeze bit of a head chunk's idx word: once a
+// rebuild ORs it in, every later fetch-and-add returns it and claims
+// nothing. cutValid marks the head's cut word as published by the
+// freezer that won the Or.
+const (
+	headFrozen = uint64(1) << 63
+	cutValid   = uint64(1) << 63
 )
 
 // ctl packs a live chunk's state into one word: the freeze bit on top
@@ -142,16 +159,18 @@ func (c Config) withDefaults() Config {
 }
 
 // chunk is a fixed-capacity run of items. A head chunk uses the sorted
-// prefix items[:n], idx as the pop fetch-and-add cursor, and flags as
-// per-slot claim states. A live chunk uses ctl as its freeze|count word
-// and flags as per-slot publication (ready) bits; min is the inclusive
+// prefix items[:n] and idx as the pop fetch-and-add cursor doubling as
+// the freeze word (high bit), with cut holding the frozen claim cut
+// once published. A live chunk uses ctl as its freeze|count word and
+// flags as per-slot publication (ready) bits; min is the inclusive
 // lower bound of its priority range.
 type chunk[T any] struct {
 	min uint64
 	n   int
 
-	idx atomic.Int64
-	_   [contend.CacheLineSize - 8]byte
+	idx atomic.Uint64
+	cut atomic.Uint64
+	_   [contend.CacheLineSize - 16]byte
 	ctl atomic.Uint64
 	_   [contend.CacheLineSize - 8]byte
 
@@ -287,30 +306,43 @@ func (w *worker[T]) push1(p uint64, v T) {
 }
 
 // Pop removes and returns a minimum-priority task, or ok=false when the
-// queue is empty. The hot path is one fetch-and-add and one claim CAS.
+// queue is empty. The hot path is one fetch-and-add — the returned
+// index is the claim, with no per-slot CAS: an index handed out before
+// the head's freeze is owned unconditionally, and one handed out after
+// carries the freeze bit and claims nothing (see freezeHead).
 func (w *worker[T]) Pop() (uint64, T, bool) {
 	q := w.q
 	var zero T
 	for {
 		s := q.root.Load()
 		h := s.head
-		if h.idx.Load() < int64(h.n) {
+		v := h.idx.Load()
+		if v&headFrozen == 0 && v < uint64(h.n) {
 			i := h.idx.Add(1) - 1
-			if i < int64(h.n) {
-				if h.flags[i].CompareAndSwap(slotFree, slotTaken) {
-					it := h.items[i]
-					h.items[i].V = zero
-					w.c.Pops++
-					return it.P, it.V, true
-				}
-				// The slot was frozen by a racing rebuild; help it
-				// finish and retry against the new spine.
+			if i&headFrozen != 0 {
+				// The head was frozen between the load and the claim;
+				// help the rebuild and retry against the new spine.
 				w.c.LockFails++
 				q.rebuild(w, s)
 				continue
 			}
+			if i < uint64(h.n) {
+				it := h.items[i]
+				h.items[i].V = zero
+				w.c.Pops++
+				return it.P, it.V, true
+			}
+			v = i // drained, and observed unfrozen
 		}
-		if s.buf.ctl.Load() == 0 && len(s.live) == 0 {
+		// Report empty only from a consistent snapshot: the head was
+		// observed drained with the freeze bit clear (so every head
+		// item belongs to a pop that linearized before now), and
+		// buf.ctl == 0 rules out both pending buf entries and an
+		// in-flight rebuild of s (a rebuild freezes buf — making ctl
+		// nonzero forever — before it touches the head or the root),
+		// so s was still the published spine and s.live authoritative
+		// at the moment of that load, which is the linearization point.
+		if v&headFrozen == 0 && s.buf.ctl.Load() == 0 && len(s.live) == 0 {
 			w.c.EmptyPops++
 			return 0, zero, false
 		}
@@ -387,7 +419,10 @@ func (w *worker[T]) PushN(ps []uint64, vs []T) {
 
 // PopN claims up to len(dst) tasks with one fetch-and-add on the head's
 // delete index; the claimed run is consecutive sorted slots, so the
-// result is ascending by priority.
+// result is ascending by priority. As in Pop, the fetch-and-add is the
+// claim: a run reserved before the head's freeze is owned whole — a
+// racing freeze cuts strictly above it, never inside it — so the run
+// can never be returned with a smaller slot missing.
 func (w *worker[T]) PopN(dst []sched.Task[T]) int {
 	if len(dst) == 0 {
 		return 0
@@ -397,30 +432,29 @@ func (w *worker[T]) PopN(dst []sched.Task[T]) int {
 	for {
 		s := q.root.Load()
 		h := s.head
-		if h.idx.Load() < int64(h.n) {
-			want := int64(len(dst))
+		v := h.idx.Load()
+		if v&headFrozen == 0 && v < uint64(h.n) {
+			want := uint64(len(dst))
 			start := h.idx.Add(want) - want
-			if start < int64(h.n) {
-				end := min(start+want, int64(h.n))
-				n := 0
-				for i := start; i < end; i++ {
-					if h.flags[i].CompareAndSwap(slotFree, slotTaken) {
-						dst[n] = h.items[i]
-						h.items[i].V = zero
-						n++
-					}
-				}
-				if n > 0 {
-					w.c.Pops += uint64(n)
-					return n
-				}
-				// Every slot in the run was frozen by a racing rebuild.
+			if start&headFrozen != 0 {
 				w.c.LockFails++
 				q.rebuild(w, s)
 				continue
 			}
+			if start < uint64(h.n) {
+				end := min(start+want, uint64(h.n))
+				n := int(end - start)
+				for i := start; i < end; i++ {
+					dst[i-start] = h.items[i]
+					h.items[i].V = zero
+				}
+				w.c.Pops += uint64(n)
+				return n
+			}
+			v = start // drained, and observed unfrozen
 		}
-		if s.buf.ctl.Load() == 0 && len(s.live) == 0 {
+		// Same consistent-snapshot emptiness argument as Pop.
+		if v&headFrozen == 0 && s.buf.ctl.Load() == 0 && len(s.live) == 0 {
 			w.c.EmptyPops++
 			return 0
 		}
@@ -490,6 +524,36 @@ func freezeLive[T any](c *chunk[T]) int {
 	return n
 }
 
+// freezeHead freezes a head chunk atomically through its idx word: one
+// Or sets the freeze bit, and the count that Or observed is the claim
+// cut — every index below it was handed out by a fetch-and-add that
+// preceded the freeze (an owned, already-linearized pop), and no index
+// at or above it can ever be claimed, because every later fetch-and-add
+// returns the freeze bit. The freeze is therefore a single linearization
+// cut: the survivors items[cut:n] are exactly the entries still in the
+// queue, with no per-slot window in which a popper could claim slot i
+// while an unclaimed smaller slot is frozen. The winning freezer
+// publishes the cut through h.cut (post-freeze fetch-and-adds keep
+// inflating the count, so losers of the Or cannot recompute it); the
+// wait for that publication is bounded by the winner being scheduled
+// across two instructions, like freezeLive's ready-flag wait.
+func freezeHead[T any](h *chunk[T]) int {
+	v := h.idx.Or(headFrozen)
+	if v&headFrozen == 0 {
+		cut := min(v, uint64(h.n))
+		h.cut.Store(cut | cutValid)
+		return int(cut)
+	}
+	for spins := 0; ; spins++ {
+		if c := h.cut.Load(); c&cutValid != 0 {
+			return int(c &^ cutValid)
+		}
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
 // rebuild replaces spine s with one whose head is freshly sorted from
 // the head's unclaimed survivors plus the frozen buf — pulling in whole
 // interior chunks until the head is full — plus spill chunks for the
@@ -501,15 +565,9 @@ func (q *Queue[T]) rebuild(w *worker[T], s *spine[T]) {
 	}
 	bn := freezeLive(s.buf)
 	h := s.head
-	for i := 0; i < h.n; i++ {
-		h.flags[i].CompareAndSwap(slotFree, slotFrozen)
-	}
+	cut := freezeHead(h)
 	m := w.merge[:0]
-	for i := 0; i < h.n; i++ {
-		if h.flags[i].Load() == slotFrozen {
-			m = append(m, h.items[i])
-		}
-	}
+	m = append(m, h.items[cut:h.n]...)
 	m = append(m, s.buf.items[:bn]...)
 	// Pull in whole interior chunks until the new head is full: always
 	// rebuilding to a full sorted head is what keeps the amortization
@@ -631,6 +689,7 @@ func (w *worker[T]) recycleBuilt() {
 		if len(w.free) < maxFreeChunks {
 			c.min, c.n = 0, 0
 			c.idx.Store(0)
+			c.cut.Store(0)
 			c.ctl.Store(0)
 			clear(c.items)
 			clear(c.flags)

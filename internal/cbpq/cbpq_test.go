@@ -1,9 +1,12 @@
 package cbpq
 
 import (
+	"cmp"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/sched"
@@ -196,6 +199,156 @@ func TestConcurrentExactDrain(t *testing.T) {
 	}
 	if st := q.Stats(); st.Pushes != st.Pops {
 		t.Fatalf("stats conservation: pushes=%d pops=%d", st.Pushes, st.Pops)
+	}
+}
+
+// loPrefill splits the priority space for the exactness runs: prefilled
+// items live in [loPrefill, 2*loPrefill), antagonist inserts strictly
+// below them so every one lands in the head's range (the buf path) and
+// drives a rebuild while the head still holds unclaimed prefilled slots.
+const loPrefill = uint64(1) << 20
+
+// popRec is one timestamped pop observation: the shared clock before
+// the call, after the return, and the returned priority.
+type popRec struct {
+	start, end uint64
+	p          uint64
+}
+
+// exactnessRun empirically checks that concurrent pops are exact (rank
+// displacement 0) while rebuilds race them. The queue is prefilled with
+// priorities >= loPrefill whose pushes complete before the concurrent
+// phase; antagonists then push below-head priorities (each forces a
+// freeze/rebuild of a partially drained head) while poppers timestamp
+// every pop with a shared atomic clock. Offline it asserts: no pop may
+// return a prefilled priority px while a prefilled item with priority
+// < px was continuously present across the pop's whole interval — that
+// is, an item popped only by an operation that began after this pop
+// returned, or never popped at all. Any such pair is a linearizability
+// violation (the pop did not return the minimum), and it is exactly the
+// observable signature of a freeze/claim race that lets a popper take
+// slot i while smaller frozen-but-unclaimed slots are republished.
+func exactnessRun(t *testing.T, poppers, prefill, antagonists, perAntagonist, chunkCap int, seed int64) {
+	t.Helper()
+	q := New[uint64](Config{Workers: poppers + antagonists + 1, ChunkCap: chunkCap})
+	w0 := q.Worker(0)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < prefill; i++ {
+		w0.Push(loPrefill+uint64(rng.Intn(1<<20)), uint64(i))
+	}
+
+	var clock atomic.Uint64
+	recs := make([][]popRec, poppers)
+	attempts := 2 * (prefill + antagonists*perAntagonist) / poppers
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for pi := 0; pi < poppers; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			w := q.Worker(1 + pi)
+			dst := make([]sched.Task[uint64], 4)
+			rs := make([]popRec, 0, attempts)
+			<-start
+			for a := 0; a < attempts; a++ {
+				st := clock.Add(1)
+				if a%4 == 3 {
+					n := w.PopN(dst)
+					en := clock.Add(1)
+					for _, it := range dst[:n] {
+						rs = append(rs, popRec{st, en, it.P})
+					}
+					continue
+				}
+				p, _, ok := w.Pop()
+				en := clock.Add(1)
+				if ok {
+					rs = append(rs, popRec{st, en, p})
+				}
+			}
+			recs[pi] = rs
+		}(pi)
+	}
+	for ai := 0; ai < antagonists; ai++ {
+		wg.Add(1)
+		go func(ai int) {
+			defer wg.Done()
+			w := q.Worker(1 + poppers + ai)
+			rng := rand.New(rand.NewSource(seed ^ int64(ai+1)*0x9e3779b9))
+			<-start
+			for i := 0; i < perAntagonist; i++ {
+				w.Push(uint64(rng.Intn(int(loPrefill))), uint64(1<<40+i))
+			}
+		}(ai)
+	}
+	close(start)
+	wg.Wait()
+
+	// Prefilled items never popped during the phase were continuously
+	// present throughout every concurrent pop: give them an infinite
+	// pop start so they constrain every pop interval.
+	inf := clock.Load() + 1
+	type present struct {
+		start uint64 // clock at which this item's own pop began
+		p     uint64
+	}
+	var ys []present
+	var xs []popRec
+	for _, rs := range recs {
+		for _, r := range rs {
+			if r.p >= loPrefill {
+				ys = append(ys, present{r.start, r.p})
+				xs = append(xs, r)
+			}
+		}
+	}
+	for {
+		p, _, ok := w0.Pop()
+		if !ok {
+			break
+		}
+		if p >= loPrefill {
+			ys = append(ys, present{inf, p})
+		}
+	}
+	slices.SortFunc(ys, func(a, b present) int { return cmp.Compare(a.start, b.start) })
+	sufMin := make([]uint64, len(ys)+1)
+	sufMin[len(ys)] = ^uint64(0)
+	for i := len(ys) - 1; i >= 0; i-- {
+		sufMin[i] = min(sufMin[i+1], ys[i].p)
+	}
+	violations := 0
+	for _, x := range xs {
+		// First item whose own pop began strictly after x returned.
+		idx, _ := slices.BinarySearchFunc(ys, x.end, func(y present, end uint64) int {
+			return cmp.Compare(y.start, end)
+		})
+		for idx < len(ys) && ys[idx].start <= x.end {
+			idx++
+		}
+		if m := sufMin[idx]; m < x.p {
+			violations++
+			if violations <= 5 {
+				t.Errorf("displaced pop: returned %d during [%d,%d] while an item with priority %d was continuously in the queue",
+					x.p, x.start, x.end, m)
+			}
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d displaced pops of %d prefilled pops — concurrent exactness (rank bound 0) violated", violations, len(xs))
+	}
+}
+
+// TestConcurrentExactness runs the timestamped displacement check at a
+// size the main test job can afford; the stress suite soaks the same
+// checker at elevated iterations (see stress_test.go).
+func TestConcurrentExactness(t *testing.T) {
+	prefill, per := 6000, 3000
+	if testing.Short() {
+		prefill, per = 1200, 600
+	}
+	for _, cap_ := range []int{8, 64} {
+		exactnessRun(t, 4, prefill, 2, per, cap_, int64(cap_)*31+1)
 	}
 }
 

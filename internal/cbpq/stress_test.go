@@ -103,3 +103,22 @@ func TestStressOversubscribed(t *testing.T) {
 	defer runtime.GOMAXPROCS(prev)
 	stressRun(t, 3*prev+2, 20000, 8)
 }
+
+// TestStressExactness soaks the timestamped displacement checker
+// (exactnessRun, cbpq_test.go): concurrent pops must observe exact
+// priority order while below-head inserts force freeze/rebuild races
+// against partially drained heads. This is the concurrent counterpart
+// of the single-threaded rank regression — it would catch a freeze
+// protocol that lets a pop claim a slot while a smaller unclaimed slot
+// is frozen and republished.
+func TestStressExactness(t *testing.T) {
+	poppers := runtime.GOMAXPROCS(0)
+	if poppers < 4 {
+		poppers = 4
+	}
+	for round := 0; round < 6; round++ {
+		for _, cap_ := range []int{8, 64} {
+			exactnessRun(t, poppers, 30000, 2, 15000, cap_, int64(round*100+cap_))
+		}
+	}
+}

@@ -7,7 +7,7 @@
 //
 //	benchcheck [BENCH_PR5.json ...]
 //	benchcheck merge -o merged.json frag0.json frag1.json [...]
-//	benchcheck diff [-threshold 0.25] [-flagged] [-fail] old.json new.json
+//	benchcheck diff [-threshold 0.25] [-flagged] [-workload hold] [-fail] [-failfamily cbpq] old.json new.json
 //
 // With no arguments, benchcheck validates every BENCH_*.json in the
 // current directory — the committed trajectory history — and fails if
@@ -27,13 +27,22 @@
 // `smqbench -assemble` to render the tables.
 //
 // The diff subcommand compares two trajectory artifacts scheduler by
-// scheduler (scalar and batched throughput, pop p99 latency, serve
-// throughput, desim event rate) and marks relative changes beyond the
-// threshold — "!" for any flagged change, "!!" for changes in the
-// harmful direction. It is informational by default (exit 0 even with
+// scheduler (scalar, batched and hold throughput, elimination and
+// combining counters, pop p99 latency, serve throughput, desim event
+// rate) and marks relative changes beyond the threshold — "!" for any
+// flagged change, "!!" for changes in the harmful direction, "!!!" for
+// hard errors. It is informational by default (exit 0 even with
 // regressions: benchmark numbers from different machines are not a
 // pass/fail gate); -fail turns harmful-direction flags into a nonzero
-// exit for same-machine gating.
+// exit for same-machine gating, and -failfamily does the same for an
+// opt-in allowlist of scheduler families (so CI can gate the cbpq tier
+// it measures on stable runners without gating every scheduler).
+// -workload restricts the table to one facet (scalar, batched, hold,
+// latency, serve, desim). Two outcomes fail regardless of flags: an
+// unparseable/invalid artifact, and a hard error — a desim run whose
+// causality-violation count increased while its lookahead window
+// claimed an exact rank bound, which is a broken correctness claim
+// rather than a performance delta.
 package main
 
 import (
@@ -41,7 +50,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/perfbench"
 )
@@ -118,8 +129,10 @@ func runDiff(args []string) {
 	threshold := fs.Float64("threshold", 0, "relative change that flags an entry (0 = default 0.25)")
 	flagged := fs.Bool("flagged", false, "print only flagged entries")
 	failOn := fs.Bool("fail", false, "exit nonzero if any flagged change points the harmful way")
+	workload := fs.String("workload", "", fmt.Sprintf("restrict the diff to one workload facet (%s)", strings.Join(perfbench.Workloads(), ", ")))
+	failFamily := fs.String("failfamily", "", "comma-separated scheduler families: exit nonzero on harmful regressions within them even without -fail (e.g. 'cbpq' covers cbpq, cbpq-elim and cbpq/... desim rows)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck diff [-threshold 0.25] [-flagged] [-fail] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck diff [-threshold 0.25] [-flagged] [-workload hold] [-fail] [-failfamily cbpq] old.json new.json")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
@@ -129,15 +142,72 @@ func runDiff(args []string) {
 	}
 	oldPath, newPath := fs.Arg(0), fs.Arg(1)
 	d := perfbench.Diff(load(oldPath), load(newPath), *threshold)
-	fmt.Printf("diff %s -> %s (threshold %.0f%%)\n", oldPath, newPath, 100*d.Threshold)
+	if *workload != "" {
+		if !slices.Contains(perfbench.Workloads(), *workload) {
+			fmt.Fprintf(os.Stderr, "benchcheck: unknown workload %q (known: %s)\n",
+				*workload, strings.Join(perfbench.Workloads(), ", "))
+			os.Exit(2)
+		}
+		d = d.FilterWorkload(*workload)
+		fmt.Printf("diff %s -> %s (threshold %.0f%%, workload %s)\n", oldPath, newPath, 100*d.Threshold, *workload)
+	} else {
+		fmt.Printf("diff %s -> %s (threshold %.0f%%)\n", oldPath, newPath, 100*d.Threshold)
+	}
 	fmt.Print(d.Format(*flagged))
+
+	exit := 0
+	// Hard errors (a broken exactness claim, not a performance delta)
+	// fail the diff no matter which informational flags are set.
+	if hard := d.HardErrors(); len(hard) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d hard error(s) — exactness claims regressed; failing regardless of flags\n", len(hard))
+		exit = 1
+	}
 	if reg := d.Regressions(); len(reg) > 0 {
 		fmt.Fprintf(os.Stderr, "benchcheck: %d flagged regression(s) out of %d compared entries\n",
 			len(reg), len(d.Entries))
 		if *failOn {
-			os.Exit(1)
+			exit = 1
+		}
+		if fams := splitFamilies(*failFamily); len(fams) > 0 {
+			for _, e := range reg {
+				if inFamily(e.Scheduler, fams) {
+					fmt.Fprintf(os.Stderr, "benchcheck: %s %s regressed %.1f%% (family gate %q)\n",
+						e.Scheduler, e.Metric, 100*e.Delta, *failFamily)
+					exit = 1
+				}
+			}
 		}
 	}
+	if exit != 0 {
+		os.Exit(exit)
+	}
+}
+
+// splitFamilies parses the -failfamily list.
+func splitFamilies(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// inFamily reports whether a diff entry's scheduler key belongs to one
+// of the named families: an exact name match, a dash-suffixed variant
+// (cbpq-elim), or a desim "scheduler/model" row of either.
+func inFamily(key string, families []string) bool {
+	name := key
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	for _, f := range families {
+		if name == f || strings.HasPrefix(name, f+"-") {
+			return true
+		}
+	}
+	return false
 }
 
 // load reads, parses and schema-validates one report, exiting on error.

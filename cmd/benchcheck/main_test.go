@@ -165,13 +165,35 @@ func TestBenchcheckDiff(t *testing.T) {
 	if err != nil {
 		t.Fatalf("informational diff exited nonzero: %v\n%s", err, out)
 	}
-	if !strings.Contains(string(out), "!! mq") || !strings.Contains(string(out), "regression") {
+	if !strings.Contains(string(out), "!!  mq") || !strings.Contains(string(out), "regression") {
 		t.Fatalf("diff output missing regression flag:\n%s", out)
 	}
 
 	// Gating: -fail turns the regression into a nonzero exit.
 	if err := exec.Command(bin, "diff", "-fail", oldPath, newPath).Run(); err == nil {
 		t.Fatal("-fail did not gate on a 60% throughput drop")
+	}
+
+	// Family gating: -failfamily gates only its allowlisted schedulers.
+	if err := exec.Command(bin, "diff", "-failfamily", "mq", oldPath, newPath).Run(); err == nil {
+		t.Fatal("-failfamily mq did not gate on mq's throughput drop")
+	}
+	if out, err := exec.Command(bin, "diff", "-failfamily", "cbpq", oldPath, newPath).CombinedOutput(); err != nil {
+		t.Fatalf("-failfamily cbpq gated on an mq regression: %v\n%s", err, out)
+	}
+
+	// Workload filter: the latency facet has no entries here; the scalar
+	// facet keeps the regression. Unknown facets are usage errors.
+	out, err = exec.Command(bin, "diff", "-workload", "latency", oldPath, newPath).CombinedOutput()
+	if err != nil || strings.Contains(string(out), "throughput_ops_per_sec") {
+		t.Fatalf("latency filter kept scalar rows (err %v):\n%s", err, out)
+	}
+	out, err = exec.Command(bin, "diff", "-workload", "scalar", oldPath, newPath).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "!!  mq") {
+		t.Fatalf("scalar filter lost the regression (err %v):\n%s", err, out)
+	}
+	if err := exec.Command(bin, "diff", "-workload", "nonesuch", oldPath, newPath).Run(); err == nil {
+		t.Fatal("unknown workload accepted")
 	}
 
 	// A self-diff has no flags, even with -fail.
@@ -183,5 +205,56 @@ func TestBenchcheckDiff(t *testing.T) {
 	// Wide threshold absorbs the drop.
 	if out, err := exec.Command(bin, "diff", "-fail", "-threshold", "0.9", oldPath, newPath).CombinedOutput(); err != nil {
 		t.Fatalf("0.9 threshold still flagged a 60%% drop: %v\n%s", err, out)
+	}
+}
+
+// TestBenchcheckDiffHardError pins the unconditional exit path: a desim
+// run whose causality violations increased under an exact bound fails
+// the diff even without -fail or -failfamily. The artifacts keep the
+// lookahead window below the bound, the configuration Validate itself
+// cannot judge.
+func TestBenchcheckDiffHardError(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "benchcheck")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	report := func(violations int) string {
+		return `{
+  "schema_version": 7,
+  "generated_by": "test",
+  "go_version": "go",
+  "gomaxprocs": 1,
+  "workers": 1,
+  "prefill": 1,
+  "ops_per_worker": 1,
+  "desim": [{"scheduler": "cbpq", "model": "dag", "workers": 1, "seed": 1,
+    "events": 100, "duration_ns": 100, "events_per_sec": 1000,
+    "rank_bound": 4, "bound_exact": true, "lookahead": 2, "bound_source": "exact",
+    "causality_violations": ` + itoa(violations) + `, "max_lead": 0, "mean_lead": 0, "checksum": 1}]
+}`
+	}
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(report(0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(report(3)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "diff", oldPath, newPath).CombinedOutput()
+	if err == nil {
+		t.Fatalf("increased exact-bound violations exited zero:\n%s", out)
+	}
+	if !strings.Contains(string(out), "!!!") || !strings.Contains(string(out), "hard error") {
+		t.Fatalf("hard error not surfaced:\n%s", out)
+	}
+	// The same artifacts in the other direction (violations dropping to
+	// zero) are fine.
+	if out, err := exec.Command(bin, "diff", newPath, oldPath).CombinedOutput(); err != nil {
+		t.Fatalf("decreasing violations gated: %v\n%s", err, out)
 	}
 }

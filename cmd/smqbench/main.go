@@ -49,12 +49,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/desim"
@@ -178,10 +180,7 @@ func main() {
 	}
 
 	if *list || *exp == "" {
-		fmt.Println("Available experiments (smqbench -exp <id>):")
-		for _, e := range harness.Registry() {
-			fmt.Printf("  %-8s %-40s %s\n", e.ID, e.Paper, e.Desc)
-		}
+		renderExperimentList(os.Stdout)
 		if *exp == "" && !*list {
 			os.Exit(2)
 		}
@@ -282,6 +281,20 @@ func main() {
 // shard metadata recorded in emitted fragments and (for -subproc) the
 // per-experiment command factory. The -cells list (used by -subproc
 // children and targeted re-runs) overrides -shard.
+// renderExperimentList writes the -list table of registered
+// experiments. A tabwriter keeps the paper-artifact column aligned —
+// the fixed %-40s width it replaced overflowed on the longer follow-up
+// baselines ("Williams et al. 2021 (follow-up baseline)" is 41 runes)
+// and pushed their descriptions out of the column grid.
+func renderExperimentList(out io.Writer) {
+	fmt.Fprintln(out, "Available experiments (smqbench -exp <id>):")
+	tw := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+	for _, e := range harness.Registry() {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", e.ID, e.Paper, e.Desc)
+	}
+	tw.Flush()
+}
+
 func shardOptions(shardSpec, cellList string, timeout time.Duration, retries int,
 	subproc bool, prefix string, cfg harness.RunConfig) (shard.Options, *perfbench.ShardInfo, func(string) func(int) *exec.Cmd, error) {
 	opts := shard.Options{Timeout: timeout, Retries: retries}

@@ -4,8 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"regexp"
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"repro/internal/harness"
 	"repro/internal/perfbench"
@@ -127,5 +129,62 @@ func TestParseThreads(t *testing.T) {
 				break
 			}
 		}
+	}
+}
+
+// expColumnStarts returns the rune offsets at which a -list row's
+// fields begin; runs of two or more spaces separate the columns (the
+// paper and description fields contain single spaces).
+func expColumnStarts(line string) []int {
+	var starts []int
+	for _, loc := range regexp.MustCompile(`(?:^|  +)\S`).FindAllStringIndex(line, -1) {
+		_, size := utf8.DecodeLastRuneInString(line[loc[0]:loc[1]])
+		starts = append(starts, utf8.RuneCountInString(line[:loc[1]-size]))
+	}
+	return starts
+}
+
+// TestRenderExperimentListAlignment is the golden test for `smqbench
+// -list`: every experiment row must place its paper-artifact and
+// description fields in the same columns. The fixed %-40s width this
+// rendering replaced overflowed on the longer follow-up baseline
+// titles and misaligned the descriptions after them.
+func TestRenderExperimentListAlignment(t *testing.T) {
+	var b strings.Builder
+	renderExperimentList(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "Available experiments") {
+		t.Fatalf("unexpected list shape:\n%s", out)
+	}
+	rows := lines[1:]
+	first := expColumnStarts(rows[0])
+	if len(first) != 3 {
+		t.Fatalf("row has %d columns, want 3: %q", len(first), rows[0])
+	}
+	ids := make(map[string]bool, len(rows))
+	for _, row := range rows {
+		starts := expColumnStarts(row)
+		if len(starts) != 3 {
+			t.Errorf("row has %d columns, want 3: %q", len(starts), row)
+			continue
+		}
+		for i := range starts {
+			if starts[i] != first[i] {
+				t.Errorf("column %d starts at rune %d, first row at %d: %q", i, starts[i], first[i], row)
+			}
+		}
+		ids[strings.Fields(row)[0]] = true
+	}
+	// The historically overflowing rows must be present and, per the
+	// loop above, aligned: emq's paper title is 41 runes and rankprobe's
+	// id is wider than the old 8-rune id column.
+	for _, id := range []string{"emq", "desim", "rankprobe"} {
+		if !ids[id] {
+			t.Errorf("list missing experiment %q:\n%s", id, out)
+		}
+	}
+	if len(ids) != len(harness.Registry()) {
+		t.Errorf("list shows %d experiments, registry has %d", len(ids), len(harness.Registry()))
 	}
 }

@@ -20,8 +20,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/desim"
@@ -50,15 +52,7 @@ func main() {
 		if w <= 0 {
 			w = 4
 		}
-		fmt.Printf("%-10s %-12s %-12s %s\n", "name", "bound", "source", "params")
-		for _, s := range zoo.Lineup[struct{}]() {
-			bound, exact := s.RankBound(w)
-			bs := "—"
-			if bound >= 0 {
-				bs = fmt.Sprint(bound)
-			}
-			fmt.Printf("%-10s %-12s %-12s %s\n", s.Name, bs, desim.BoundSource(bound, exact), s.Params)
-		}
+		renderSchedulerList(os.Stdout, w)
 		return
 	}
 
@@ -101,6 +95,25 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "smqsim: %d runs in %v\n", len(report.Desim), time.Since(start).Round(time.Millisecond))
+}
+
+// renderSchedulerList writes the -list table: every zoo scheduler with
+// its rank bound at the given worker count, its bound source, and its
+// parameter summary. A tabwriter keeps the columns aligned regardless
+// of name length (fixed printf widths silently broke once names like
+// "cbpq-elim" and long parameter strings joined the lineup).
+func renderSchedulerList(out io.Writer, workers int) {
+	tw := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "name\tbound\tsource\tparams")
+	for _, s := range zoo.Lineup[struct{}]() {
+		bound, exact := s.RankBound(workers)
+		bs := "—"
+		if bound >= 0 {
+			bs = fmt.Sprint(bound)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", s.Name, bs, desim.BoundSource(bound, exact), s.Params)
+	}
+	tw.Flush()
 }
 
 func fatal(err error) {

@@ -23,17 +23,19 @@ import (
 //     per ~ChunkCap pops;
 //   - inserts into interior chunks are allocation-free CAS publishes,
 //     paying one split per ~ChunkCap/2 inserts into a given chunk;
-//   - an insert below the head's range is the documented worst case —
-//     it buffers and forces a first-chunk rebuild, exactly as in the
-//     original CBPQ, a bounded constant per operation.
+//   - an insert below the head's range used to be the documented worst
+//     case (one first-chunk rebuild each); the elimination layer now
+//     absorbs such inserts into the exchange array, where a pop takes
+//     them allocation-free, and the combining rebuild merges whatever
+//     the exchange cannot hold in bulk.
 //
 // The hold-model microbench (pop-min + push-uniform at equal rates)
 // degenerates toward that third case as the resident set drifts to the
-// top of the key range, which is the honest cost the recorded
-// trajectory shows against the lock-based tier.
+// top of the key range; with elimination the common pairs cancel in
+// the exchange and the remainder amortizes through combining.
 
-// TestSteadyStateDrainAllocs: pops are one fetch-and-add plus a claim
-// CAS; a rebuild refills the head every ~ChunkCap pops, so a pure
+// TestSteadyStateDrainAllocs: pops are one claim CAS on the packed head
+// word; a rebuild refills the head every ~ChunkCap pops, so a pure
 // drain runs at O(1/ChunkCap) allocations per pop — AllocsPerRun
 // reports the integral floor of the average, so anything under one
 // alloc/op measures as 0, and the gate fails as soon as the average
@@ -74,12 +76,16 @@ func TestSteadyStateInsertAllocs(t *testing.T) {
 	}
 }
 
-// TestSteadyStateDecrementalAllocs pins the documented worst case: the
-// decremental-key pattern (pop-then-push-nearby, e.g. SSSP
-// relaxations) re-inserts below the head's range every time, so every
-// pop+push pair pays one first-chunk rebuild — two chunks, a spine
-// and a slice, 8 allocations measured. The gate bounds that constant
-// so the rebuild path cannot silently grow.
+// TestSteadyStateDecrementalAllocs pins the elimination layer's win on
+// the formerly documented worst case: the decremental-key pattern
+// (pop-then-push-nearby, e.g. SSSP relaxations) re-inserts below the
+// head's range every time. Before elimination every pop+push pair paid
+// one first-chunk rebuild (~8 allocations); now the pair meets in the
+// exchange array and the steady state allocates nothing, with the rare
+// parked-entry overflow amortized by a combining rebuild. The gate
+// bounds the pair at 2 allocs/op and asserts the elimination counter
+// actually fired, so the fast path cannot silently rot back into
+// per-pair rebuilds.
 func TestSteadyStateDecrementalAllocs(t *testing.T) {
 	s := New[int](Config{Workers: 1})
 	w := s.Worker(0)
@@ -95,7 +101,10 @@ func TestSteadyStateDecrementalAllocs(t *testing.T) {
 		}
 		w.Push(p+uint64(rng.Intn(64)), v)
 	})
-	if allocs > 12 {
-		t.Fatalf("decremental pop+push allocates %.3f allocs/op, want <= 12 (first-chunk rebuild path grew)", allocs)
+	if allocs > 2 {
+		t.Fatalf("decremental pop+push allocates %.3f allocs/op, want <= 2 (elimination/combining amortization regressed)", allocs)
+	}
+	if st := s.Stats(); st.Eliminations == 0 {
+		t.Fatalf("decremental workload recorded zero elimination hits (stats: %+v) — the exchange fast path is dead", st)
 	}
 }

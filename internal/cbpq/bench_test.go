@@ -17,7 +17,7 @@ func BenchmarkCBPQ_Throughput(b *testing.B) {
 	}
 }
 
-// BenchmarkCBPQ_Batch runs PopN→PushN pairs: one fetch-and-add claims
+// BenchmarkCBPQ_Batch runs PopN→PushN pairs: one index-word CAS claims
 // the pop run, one count-word CAS per touched chunk publishes the push
 // batch. Reports ns per batch pair.
 func BenchmarkCBPQ_Batch(b *testing.B) {
@@ -45,9 +45,9 @@ func BenchmarkCBPQ_Batch(b *testing.B) {
 	}
 }
 
-// BenchmarkCBPQ_Pop measures the hot pop path alone (one claiming
-// fetch-and-add, rebuild amortized over ChunkCap pops), refilling
-// outside the timer whenever the queue drains.
+// BenchmarkCBPQ_Pop measures the hot pop path alone (one claiming CAS
+// on the packed index word, rebuild amortized over ChunkCap pops),
+// refilling outside the timer whenever the queue drains.
 func BenchmarkCBPQ_Pop(b *testing.B) {
 	q := New[int](Config{Workers: 1})
 	w := q.Worker(0)
@@ -65,5 +65,39 @@ func BenchmarkCBPQ_Pop(b *testing.B) {
 		if _, _, ok := w.Pop(); !ok {
 			refill()
 		}
+	}
+}
+
+// BenchmarkCBPQ_Hold runs the decremental hold pattern — pop the
+// minimum, push it back slightly above the old head — the workload the
+// elimination + combining layer exists for: immediately-minimal pushes
+// meet pops in exchange slots, and the rest park (exchange or buf)
+// until a blocked pop absorbs the whole pending set in one deferred
+// rebuild. The noelim variant routes everything through the combining
+// buf alone. Reports ns per pop+push pair.
+func BenchmarkCBPQ_Hold(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"elim", Config{Workers: 1}},
+		{"noelim", Config{Workers: 1, DisableElimination: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			q := New[int](tc.cfg)
+			w := q.Worker(0)
+			rng := xrand.New(1)
+			for i := 0; i < 1<<12; i++ {
+				w.Push(1<<20+uint64(rng.Intn(1_000_000)), i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, v, ok := w.Pop()
+				if !ok {
+					b.Fatal("queue drained")
+				}
+				w.Push(p+uint64(rng.Intn(64)), v)
+			}
+		})
 	}
 }

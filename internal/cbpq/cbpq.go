@@ -1,12 +1,13 @@
 // Package cbpq implements a CAS-based chunked priority queue in the
 // style of Braginsky, Cohen and Petrank ("CBPQ: High Performance
-// Lock-Free Priority Queue", Euro-Par 2016): the queue is a short
-// sequence of fixed-capacity chunks partitioned by priority range, the
-// first chunk is sorted and consumed by a fetch-and-add on its delete
-// index (no lock and no CAS retry loop on the hot pop path), inserts
-// CAS-publish into the interior chunk owning their range, and a full or
-// contended chunk is frozen and split/rebuilt rather than mutated in
-// place.
+// Lock-Free Priority Queue", Euro-Par 2016), extended with an
+// elimination + combining layer in the Hendler-Shavit style: the queue
+// is a short sequence of fixed-capacity chunks partitioned by priority
+// range, the first chunk is sorted and consumed through a single packed
+// claim word, inserts CAS-publish into the interior chunk owning their
+// range, below-head inserts meet pops in a small exchange array, and a
+// full or contended chunk is frozen and split/rebuilt rather than
+// mutated in place.
 //
 // Unlike every other scheduler in the zoo, no operation ever takes a
 // lock (the Stats().LockFails counter reports CAS failures instead).
@@ -18,76 +19,143 @@
 // # Structure
 //
 // All shared state hangs off a single atomic root pointer to an
-// immutable spine:
+// immutable spine, plus a per-queue exchange array:
 //
 //		spine{ head, buf, live[] }
 //
-//	  - head is the sorted first chunk. Pop is one fetch-and-add on
-//	    head.idx, and the returned index IS the claim — there is no
-//	    per-slot state. A rebuild freezes the head through the same
-//	    word (one Or setting a high freeze bit), so the count the Or
-//	    observes is a clean cut: every smaller index was handed to a
-//	    popper before the freeze and is an already-linearized pop,
-//	    while no index at or above the cut can ever be claimed because
-//	    later fetch-and-adds return the freeze bit. The survivor set
-//	    items[cut:n] is therefore exact — a pop can never return slot i
-//	    while a smaller unclaimed slot stays in the queue.
+//	  - head is the sorted first chunk. Its idx word packs three fields:
+//	    a freeze bit (bit 63), an exchange publish counter, and the pop
+//	    index (low bits). Pop claims the next sorted slot with one CAS
+//	    on this word; the CAS succeeds only if no exchange publish has
+//	    landed since the pop scanned the exchange array, which is what
+//	    keeps head claims exact in the presence of eliminated inserts
+//	    (see below). A rebuild freezes the head through the same word
+//	    (one Or setting the freeze bit); the index the Or observes is a
+//	    clean claim cut, and because every claim is a CAS that fails
+//	    against a frozen word, the word is immutable after the freeze
+//	    and all helpers read the same cut from it directly.
 //	  - live[] are the interior chunks, ascending by their range lower
 //	    bound min; an insert with priority p targets the last chunk with
 //	    min <= p and CAS-bumps its count word, then release-publishes the
 //	    slot's ready flag.
-//	  - buf is the insertion buffer for priorities below live[0].min
-//	    (i.e. inside the head's own range). The head is immutable, so
-//	    such inserts append to buf and then drive a rebuild; the entry
-//	    only linearizes when a rebuild merges buf into a new sorted head,
-//	    and Push returns only after observing that merge. This is how
-//	    exactness survives concurrent small-priority inserts.
+//	  - the exchange array (exg) absorbs below-head inserts: a Push
+//	    whose priority falls inside the head's own range parks its
+//	    entry in a free slot and linearizes it by bumping the publish
+//	    counter in the head's packed word; a pop that finds the entry
+//	    to be a global minimum takes it straight from the slot. See
+//	    "Elimination and combining".
+//	  - buf is the overflow insertion buffer for below-head inserts the
+//	    exchange cannot absorb. An append folds its priority into buf's
+//	    monotone minimum (bmin) and linearizes by bumping the same
+//	    publish counter an exchange publish bumps; Push then returns.
+//	    Pops fold bmin into their scan limit, so a buf entry that is
+//	    the global minimum blocks head claims, and the first pop it
+//	    blocks drives the rebuild that merges buf into a new sorted
+//	    head — buf entries above the head minimum cost nothing until
+//	    then.
+//
+// # Elimination and combining
+//
+// Below-head inserts are the structure's worst case: the head is
+// immutable, so without help every one of them would force a full
+// freeze->merge->republish head rebuild — the decremental-key pattern
+// (pop the minimum, reinsert slightly above it) that SSSP/A*/
+// delta-stepping relaxations generate degenerates to one rebuild per
+// pair. Two layers in front of buf remove almost all of that cost:
+//
+//   - Elimination. A below-head Push claims a free exchange slot
+//     (empty -> busy), writes its entry, and linearizes it with one CAS
+//     that bumps the publish counter packed into the head's
+//     freeze|publishes|index word. A Pop scans the exchange after
+//     loading that word; if a published entry is no greater than every
+//     other possibly-present entry and the head minimum, the pop
+//     reserves the slot (ready -> claimed) and validates with one load
+//     of the packed word: unfrozen and an unchanged publish counter
+//     prove that the set of published entries at that instant is
+//     exactly the scanned set and that the head minimum has only
+//     grown, so the reserved entry is a true minimum and the take
+//     linearizes at that load. Push and Pop meet in the slot; neither
+//     touches the spine and no rebuild happens. Symmetrically, a head
+//     claim succeeds only if the publish counter is unchanged since
+//     the scan, so a claim can never overtake a smaller entry parked
+//     in the exchange. Reservations are revocable (claimed -> ready)
+//     until the validating load, so a failed validation never
+//     un-linearizes anything.
+//   - Combining. Entries the exchange cannot absorb — every slot
+//     parked, or the head frozen mid-publish — append to buf and
+//     linearize through the publish counter like an exchange publish
+//     (see the buf bullet above). They stay parked there until one of
+//     them becomes the global minimum and blocks a pop; that pop's
+//     rebuild then merges the entire frozen buf plus every parked
+//     exchange entry in one freeze->merge->republish cycle: N misses
+//     cost one deferred rebuild, not N. The combiner is elected by the
+//     root CAS itself (whichever helper's candidate wins), which keeps
+//     combining lock-free, unlike a flat-combining lock.
+//
+// The consistent-emptiness snapshot extends accordingly: a pop reports
+// empty only after observing a drained unfrozen head, no exchange
+// entry, an untouched buf and no interior chunks, and then re-reading
+// the packed word unchanged — any publish in between would have bumped
+// the publish counter, so the second read is the linearization point
+// of the failed pop.
 //
 // # Freeze / split / rebuild
 //
 // Structural changes never mutate a published chunk's membership; they
 // freeze it with one atomic Or — on the ctl word of a live chunk or
-// buf (then wait out in-flight publication windows), on the idx word
-// of the head (the observed count is the claim cut, published for
-// helpers) — build replacement chunks privately, and CAS the root to a
-// new spine. The CAS is the single linearization
-// point; losers recycle their never-published candidate chunks into a
-// per-worker freelist (published chunks are never pooled, so the root
-// CAS cannot ABA) and retry against the new spine. A full interior
-// chunk splits into two halves around its median; a rebuild replaces
-// the head with one freshly sorted from its frozen survivors plus the
-// frozen buf, pulling in whole interior chunks until the new head is
-// full. Any thread can help: after a
-// complete freeze the frozen membership is identical for all helpers,
-// so all candidates are equivalent and whichever CAS wins is correct.
+// buf (then wait out in-flight publication windows), on the packed idx
+// word of the head — wait for the exchange array to settle against the
+// frozen head, build replacement chunks privately, and CAS the root to
+// a new spine. The CAS is the single linearization point; losers
+// recycle their never-published candidate chunks into a per-worker
+// freelist (published chunks are never pooled, so the root CAS cannot
+// ABA) and retry against the new spine. A full interior chunk splits
+// into two halves around its median; a rebuild replaces the head with
+// one freshly sorted from its frozen survivors plus the frozen buf and
+// the settled exchange entries, pulling in whole interior chunks until
+// the new head is full. Any thread can help: after a complete freeze
+// the frozen membership is identical for all helpers, so all
+// candidates are equivalent and whichever CAS wins is correct. Only
+// the winner resets the merged exchange slots; until it does they are
+// inert (their recorded head is frozen, so no pop will take them and
+// no push can reuse them).
 //
 // # Lock-free batches
 //
-// PopN claims a run of n consecutive sorted slots with one
-// fetch-and-add on head.idx. PushN sorts the batch once into a
-// per-worker scratch and publishes each same-chunk run with a single
-// count-word CAS on the owning chunk — one CAS per touched chunk, not
-// per element. This is the chunk-granular answer to "what does PushN
-// mean without a lock": the reservation is the atomic, the copy is
-// plain stores, and the ready flags make the slots visible.
+// PopN drains the same decision loop as Pop: each consecutive sorted
+// head run is claimed with one CAS on the packed word (bounded so the
+// run never overtakes a smaller exchange entry), and exchange takes
+// fill single slots of the batch. Because concurrent publishes can
+// slip between two individually linearized claims, a batch is
+// ascending in the absence of concurrent pushes but globally it is a
+// sequence of exact scalar pops, which is the sched.Worker contract.
+// PushN sorts the batch once into a per-worker scratch, publishes
+// below-head singletons through the exchange, and publishes each
+// remaining same-chunk run with a single count-word CAS on the owning
+// chunk — one CAS per touched chunk, not per element.
 //
 // # Progress and allocation
 //
 // Every CAS failure implies another operation succeeded, so pushes,
 // pops and structural changes are lock-free; the only unbounded waits
 // are publication windows — between a count reservation and its ready
-// flag, and between the winning head-freeze Or and its cut store —
-// which a frozen-chunk reader spins out with Gosched (bounded by the
-// publishing thread being scheduled, as in the original CBPQ's
-// frozenness wait). Steady-state allocation is amortized O(1/ChunkCap)
-// chunks per operation: rebuilds allocate a handful of chunks per
-// ChunkCap pops, CAS losers recycle through the per-worker freelist,
-// and popped or recycled slots are zeroed so the queue retains no
-// payload memory (see the retention test).
+// flag, and between an exchange slot's reservation and its resolution
+// — which a reader spins out with Gosched (bounded by the publishing
+// thread being scheduled across a few instructions, as in the original
+// CBPQ's frozenness wait). Steady-state allocation is amortized
+// O(1/ChunkCap) chunks per operation; on the decremental-key workload
+// the exchange absorbs push/pop pairs for one small immutable entry
+// allocation each (boxing is what makes concurrent readers of a
+// recycling slot race-free) instead of a full rebuild. Rebuilds
+// allocate a handful of chunks per ChunkCap pops, CAS losers recycle
+// through the per-worker freelist, and popped or recycled slots are
+// zeroed so the queue retains no payload memory (see the retention
+// test).
 package cbpq
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"slices"
 	"sync/atomic"
@@ -98,9 +166,12 @@ import (
 )
 
 // DefaultChunkCap is the chunk capacity used when Config.ChunkCap is 0.
-// 64 keeps a chunk's items inside a few cache lines while amortizing a
-// rebuild over 64 pops.
-const DefaultChunkCap = 64
+// 128 amortizes splits and rebuilds over twice as many operations as
+// the original 64 while a chunk's items still fit comfortably in L1;
+// measured on the hold and uniform microbenchmarks it beats both 64
+// (split churn) and 256 (head-rebuild copy cost scales with the head,
+// which is sized as a multiple of ChunkCap).
+const DefaultChunkCap = 128
 
 // maxFreeChunks bounds the per-worker freelist of recycled candidate
 // chunks (CAS losers); beyond this they are dropped for the GC.
@@ -108,21 +179,67 @@ const maxFreeChunks = 8
 
 // Live-chunk slot flags: a reserved slot moves free → ready when its
 // item has been published. Head chunks carry no per-slot state at all —
-// the pop fetch-and-add is the claim, and freezing goes through the idx
-// word (see freezeHead).
+// the claim CAS on the packed idx word is the claim, and freezing goes
+// through the same word (see freezeHead).
 const (
 	slotFree  uint32 = 0
 	slotReady uint32 = 1
 )
 
-// headFrozen is the freeze bit of a head chunk's idx word: once a
-// rebuild ORs it in, every later fetch-and-add returns it and claims
-// nothing. cutValid marks the head's cut word as published by the
-// freezer that won the Or.
+// The head chunk's idx word packs [ freeze:1 | publishes:46 | index:17 ]:
+//
+//   - headFrozen is the freeze bit: once a rebuild ORs it in, every
+//     claim CAS and exchange publish CAS against the word fails, so
+//     the word is immutable and the index it holds is the claim cut.
+//   - the publish counter (stepped by headSeqOne) counts exchange
+//     publishes against this head. It only ever grows, so "counter
+//     unchanged across a CAS/load" proves no entry was published in
+//     between — the pillar of every exactness argument above. 46 bits
+//     cannot overflow within a head's lifetime in any realistic run.
+//   - the index occupies the low headIdxBits bits; claims only advance
+//     it via CAS while it is below the head count, so it never exceeds
+//     ChunkCap (<= 65536, which is why 17 bits suffice).
 const (
-	headFrozen = uint64(1) << 63
-	cutValid   = uint64(1) << 63
+	headFrozen  = uint64(1) << 63
+	headIdxBits = 17
+	headIdxMask = uint64(1)<<headIdxBits - 1
+	headSeqOne  = uint64(1) << headIdxBits
+	headSeqMask = headFrozen - headSeqOne
 )
+
+// Exchange slot states. Writers own a slot from the empty→busy CAS to
+// their terminal store (ready on a linearized publish, back to empty on
+// a withdrawn one); takers own it from the ready→claimed CAS to theirs
+// (empty after a validated take, back to ready after a failed one).
+// Slot data is a single atomic pointer to an immutable entry, so any
+// reader at any time — including a rebuild helper lagging behind the
+// winner's slot reset and a concurrent re-publisher — reads a coherent
+// (p, h, v) triple; every decision based on a possibly-stale read is
+// re-validated against the head's packed word before it linearizes.
+const (
+	exgEmpty   uint32 = iota
+	exgBusy           // writer owns the slot; data being written
+	exgStaged         // data valid; publish CAS in flight (possibly already linearized)
+	exgReady          // published: linearized and takeable
+	exgClaimed        // reserved by a taker; validation pending
+)
+
+// maxExgSlots caps the exchange array at the occupancy mask's 64 bits
+// (pops scan only slots whose mask bit is set, so idle capacity is
+// free); the array never has fewer than minExgSlots so workers can park
+// many not-yet-minimal entries instead of overflowing into buf, whose
+// entries can only be absorbed by a rebuild.
+const (
+	maxExgSlots = 64
+	minExgSlots = 32
+)
+
+// headMult sizes the head chunk relative to ChunkCap: a head is
+// consumed once per pop but rebuilt wholesale, so a larger head
+// amortizes each drain-driven rebuild (and its allocations) over
+// proportionally more pops. Capped so the packed index field can never
+// overflow headIdxBits.
+const headMult = 2
 
 // ctl packs a live chunk's state into one word: the freeze bit on top
 // of the published-reservation count.
@@ -138,6 +255,12 @@ type Config struct {
 	// ChunkCap is the fixed chunk capacity. 0 means DefaultChunkCap;
 	// otherwise it must be in [4, 65536].
 	ChunkCap int
+	// DisableElimination turns off the exchange-array elimination layer,
+	// leaving only the combining (buf + rebuild) path for below-head
+	// inserts — the pre-elimination baseline, kept reachable for A/B
+	// comparison (the zoo's cbpq-elim spec names the default layered
+	// configuration).
+	DisableElimination bool
 }
 
 // Validate reports whether the configuration is usable.
@@ -159,46 +282,85 @@ func (c Config) withDefaults() Config {
 }
 
 // chunk is a fixed-capacity run of items. A head chunk uses the sorted
-// prefix items[:n] and idx as the pop fetch-and-add cursor doubling as
-// the freeze word (high bit), with cut holding the frozen claim cut
-// once published. A live chunk uses ctl as its freeze|count word and
-// flags as per-slot publication (ready) bits; min is the inclusive
-// lower bound of its priority range.
+// prefix items[:n] and idx as the packed freeze|publishes|index word. A
+// live chunk uses ctl as its freeze|count word and flags as per-slot
+// publication (ready) bits; min is the inclusive lower bound of its
+// priority range.
 type chunk[T any] struct {
 	min uint64
 	n   int
+	// pre counts the slots filled at build time by prefill. They were
+	// written before the chunk was published (the root CAS orders
+	// them), so freezeLive need not spin on their ready bits and
+	// prefill skips len(items) ordered flag stores.
+	pre int
 
 	idx atomic.Uint64
-	cut atomic.Uint64
-	_   [contend.CacheLineSize - 16]byte
+	_   [contend.CacheLineSize - 8]byte
 	ctl atomic.Uint64
 	_   [contend.CacheLineSize - 8]byte
+	// bmin is the minimum priority ever appended while the chunk served
+	// as a spine's buf (^0 when unused). A buf append publishes bmin
+	// then bumps the head's publish counter, so pops see buf entries
+	// without a rebuild; padded because pushers write it while every
+	// reader needs the slice headers below.
+	bmin atomic.Uint64
+	_    [contend.CacheLineSize - 8]byte
 
 	items []pq.Item[T]
 	flags []atomic.Uint32
 }
 
+// exgEntry is one published exchange entry: the priority/value pair and
+// the head chunk whose publish counter linearized it. Entries are
+// immutable after publication — a slot swaps whole entries through one
+// atomic pointer — which is what lets scans, takes and rebuild helpers
+// read them without further synchronization (see the state constants).
+type exgEntry[T any] struct {
+	p uint64
+	h *chunk[T]
+	v T
+}
+
+// exgSlot is one padded exchange-array slot: the state machine word and
+// the current entry. The entry pointer is nil exactly when no payload is
+// resident, so releasing a taken or merged entry is one atomic store.
+type exgSlot[T any] struct {
+	state atomic.Uint32
+	// i is the slot's index in the exchange array (fixed at New),
+	// letting takers and the rebuild winner clear the right occupancy
+	// mask bit without pointer arithmetic.
+	i  int32
+	_  [contend.CacheLineSize - 8]byte
+	it atomic.Pointer[exgEntry[T]]
+	_  [contend.CacheLineSize - 8]byte
+}
+
 // spine is the immutable root snapshot: the sorted head, the head-range
 // insertion buffer, and the interior chunks ascending by min. Every
-// structural change installs a fresh spine with one CAS.
+// structural change installs a fresh spine with one CAS. mins mirrors
+// live[i].min in a flat pointer-free array so the per-push binary
+// search probes one cache-resident uint64 run instead of chasing a
+// chunk pointer per probe.
 type spine[T any] struct {
 	head *chunk[T]
 	buf  *chunk[T]
 	live []*chunk[T]
+	mins []uint64
 }
 
 // targetIdx returns the index in live of the chunk owning priority p
 // (the last chunk with min <= p), or -1 when p belongs to the head
-// range and must go through buf.
+// range and must go through the exchange or buf.
 func (s *spine[T]) targetIdx(p uint64) int {
-	live := s.live
-	if len(live) == 0 || p < live[0].min {
+	mins := s.mins
+	if len(mins) == 0 || p < mins[0] {
 		return -1
 	}
-	lo, hi := 0, len(live)
+	lo, hi := 0, len(mins)
 	for lo+1 < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if live[mid].min <= p {
+		if mins[mid] <= p {
 			lo = mid
 		} else {
 			hi = mid
@@ -210,27 +372,50 @@ func (s *spine[T]) targetIdx(p uint64) int {
 // Queue is a lock-free chunked priority queue. Create with New, then
 // hand each goroutine its own Worker.
 type Queue[T any] struct {
-	cfg  Config
-	root atomic.Pointer[spine[T]]
-	_    [contend.CacheLineSize]byte
+	cfg Config
+	// headCap is the head chunk capacity (headMult * ChunkCap, capped
+	// so the packed index field cannot overflow).
+	headCap int
+	root    atomic.Pointer[spine[T]]
+	_       [contend.CacheLineSize]byte
+
+	// exgMask is the exchange occupancy mask: bit i is set while slot i
+	// may hold an entry (set between the empty->busy claim and the
+	// entry store, cleared just before a slot returns to empty). It may
+	// transiently overstate occupancy — scans re-check slot state — but
+	// never understates it, so iterating its set bits visits every
+	// present entry.
+	exgMask atomic.Uint64
+	_       [contend.CacheLineSize - 8]byte
+
+	exg    []exgSlot[T]
+	exgAll uint64
 
 	workers  []worker[T]
 	counters []sched.Counters
 }
 
 type worker[T any] struct {
-	q *Queue[T]
-	c *sched.Counters
+	q  *Queue[T]
+	c  *sched.Counters
+	id int
 
 	// batch holds PushN's sorted copy; merge is the rebuild/split
-	// scratch (distinct because PushN drives rebuilds mid-batch).
-	batch []pq.Item[T]
-	merge []pq.Item[T]
+	// scratch (distinct because PushN drives rebuilds mid-batch) and
+	// merge2 its partner for the sorted-run merge (the two swap roles);
+	// exgTaken is the rebuild's collected-exchange-slot scratch.
+	batch    []pq.Item[T]
+	merge    []pq.Item[T]
+	merge2   []pq.Item[T]
+	exgTaken []*exgSlot[T]
 
 	// built tracks the candidate chunks of the current structural
-	// attempt; free pools recycled CAS losers.
-	built []*chunk[T]
-	free  []*chunk[T]
+	// attempt; free pools recycled CAS losers (interior/buf chunks) and
+	// freeHead the headCap-sized head candidates, which carry no flags
+	// and must never be reused as interior chunks.
+	built    []*chunk[T]
+	free     []*chunk[T]
+	freeHead []*chunk[T]
 
 	_ [contend.CacheLineSize]byte
 }
@@ -243,14 +428,22 @@ func New[T any](cfg Config) *Queue[T] {
 	cfg = cfg.withDefaults()
 	q := &Queue[T]{
 		cfg:      cfg,
+		headCap:  min(headMult*cfg.ChunkCap, 1<<16),
 		workers:  make([]worker[T], cfg.Workers),
 		counters: make([]sched.Counters, cfg.Workers),
 	}
+	if !cfg.DisableElimination {
+		q.exg = make([]exgSlot[T], min(max(cfg.Workers, minExgSlots), maxExgSlots))
+		for i := range q.exg {
+			q.exg[i].i = int32(i)
+		}
+		q.exgAll = ^uint64(0) >> (64 - len(q.exg))
+	}
 	for i := range q.workers {
-		q.workers[i] = worker[T]{q: q, c: &q.counters[i]}
+		q.workers[i] = worker[T]{q: q, c: &q.counters[i], id: i}
 	}
 	w := &q.workers[0]
-	q.root.Store(&spine[T]{head: w.getChunk(), buf: w.getChunk()})
+	q.root.Store(&spine[T]{head: w.getHead(), buf: w.getChunk()})
 	w.commitBuilt()
 	return q
 }
@@ -268,7 +461,9 @@ func (q *Queue[T]) Worker(w int) sched.Worker[T] {
 }
 
 // Stats aggregates the per-worker counters. LockFails counts CAS
-// failures (there are no locks to fail).
+// failures (there are no locks to fail); Eliminations counts pops
+// served straight from the exchange array, Combines below-head inserts
+// merged in bulk by a combining rebuild.
 func (q *Queue[T]) Stats() sched.Stats { return sched.SumCounters(q.counters) }
 
 // Push inserts one task.
@@ -289,10 +484,21 @@ func (w *worker[T]) push1(p uint64, v T) {
 			q.split(w, s, k)
 			continue
 		}
+		if w.exgPublish(s.head, p, v) {
+			return
+		}
 		b := s.buf
 		if b.tryAppend(w, p, v) {
-			// The entry linearizes when a rebuild merges b into a
-			// sorted head; drive rebuilds until one does.
+			if b.publishBufMin(s.head, p) {
+				// Linearized at the counter bump, exactly like an
+				// exchange publish: pops fold b's bmin into their limit
+				// and the bump invalidates any concurrent head claim.
+				return
+			}
+			// Head froze mid-publish. The append beat buf's freeze (buf
+			// freezes before the head does), so the in-flight rebuild's
+			// merge set includes this entry and its root CAS linearizes
+			// it; drive rebuilds until one lands.
 			for {
 				cur := q.root.Load()
 				if cur.buf != b {
@@ -305,44 +511,222 @@ func (w *worker[T]) push1(p uint64, v T) {
 	}
 }
 
+// publishBufMin makes a freshly appended buf entry of priority p
+// visible to pops: fold p into the buf's monotone minimum, then bump
+// h's publish counter — the entry's linearization point, validated by
+// every pop's claiming CAS just like an exchange publish. Returns false
+// when the head froze first; the caller's entry then rides the
+// in-flight rebuild instead (it is already inside the frozen count).
+func (c *chunk[T]) publishBufMin(h *chunk[T], p uint64) bool {
+	for {
+		cur := c.bmin.Load()
+		if p >= cur || c.bmin.CompareAndSwap(cur, p) {
+			break
+		}
+	}
+	for {
+		hw := h.idx.Load()
+		if hw&headFrozen != 0 {
+			return false
+		}
+		if h.idx.CompareAndSwap(hw, hw+headSeqOne) {
+			return true
+		}
+	}
+}
+
+// exgPublish tries to linearize a below-head insert through the
+// exchange array: claim a free slot, write the entry, and bump the
+// publish counter in h's packed word with one CAS — the linearization
+// point. It fails (false) when elimination is disabled, every slot is
+// occupied, or the head froze mid-publish; in the last case the entry
+// is withdrawn unobserved (it never linearized) and the caller falls
+// back to the combining buf path.
+//
+// A probe starts at the worker's own slot but may park in any free
+// one: parked entries that are not yet minimal simply wait — pops take
+// them as the minimum rises, and any rebuild merges them — so the
+// array doubles as the combining layer's bounded pending set.
+func (w *worker[T]) exgPublish(h *chunk[T], p uint64, v T) bool {
+	q := w.q
+	if len(q.exg) == 0 || h.idx.Load()&headFrozen != 0 {
+		return false
+	}
+	free := ^q.exgMask.Load() & q.exgAll
+	// Prefer free slots at or above the worker's home index so
+	// concurrent publishers fan out instead of racing the lowest bit.
+	start := uint(w.id) % uint(len(q.exg))
+	for _, part := range [2]uint64{free &^ (uint64(1)<<start - 1), free & (uint64(1)<<start - 1)} {
+		for ; part != 0; part &= part - 1 {
+			sl := &q.exg[bits.TrailingZeros64(part)]
+			if sl.state.Load() != exgEmpty || !sl.state.CompareAndSwap(exgEmpty, exgBusy) {
+				continue
+			}
+			// The mask bit is set while the slot is owned and before the
+			// entry becomes visible, so a scan ordered after this
+			// publish's counter bump cannot miss the slot.
+			q.exgMask.Or(uint64(1) << uint(sl.i))
+			sl.it.Store(&exgEntry[T]{p: p, h: h, v: v})
+			sl.state.Store(exgStaged)
+			for {
+				hw := h.idx.Load()
+				if hw&headFrozen != 0 {
+					break
+				}
+				if h.idx.CompareAndSwap(hw, hw+headSeqOne) {
+					// Linearized: the counter bump is what every pop and
+					// emptiness snapshot validates against.
+					sl.state.Store(exgReady)
+					return true
+				}
+				w.c.LockFails++
+			}
+			// Head frozen mid-publish: withdraw. No pop can have taken the
+			// entry (it was never ready) and no rebuild collects a staged
+			// slot, so the entry simply never happened. The bit clears
+			// before the slot reopens, so it can't erase a successor's.
+			sl.it.Store(nil)
+			q.exgMask.And(^(uint64(1) << uint(sl.i)))
+			sl.state.Store(exgEmpty)
+			return false
+		}
+	}
+	return false
+}
+
+// exgView summarizes one scan of the exchange array against head h:
+// the minimum takeable (ready) entry, and the minimum over entries
+// that may already be present but cannot be taken — staged publishes
+// (their counter bump may already have landed) and other pops'
+// reservations. Decisions taken from a view are sound only when
+// validated against h's packed word afterwards; the caller must have
+// loaded that word BEFORE the scan, so that any entry the scan missed
+// published after that load and is caught by the counter comparison.
+type exgView[T any] struct {
+	ready  *exgSlot[T]
+	readyP uint64
+	pendP  uint64
+	any    bool
+}
+
+func (q *Queue[T]) exgScan(h *chunk[T]) exgView[T] {
+	view := exgView[T]{readyP: ^uint64(0), pendP: ^uint64(0)}
+	// The occupancy mask may overstate (bits clear only after a slot's
+	// entry is gone) but never understates a published entry: the bit is
+	// set before the entry stores, so a scan ordered after the entry's
+	// counter bump observes it. Iterating set bits keeps the scan
+	// O(occupied) instead of O(len(exg)).
+	for set := q.exgMask.Load(); set != 0; set &= set - 1 {
+		sl := &q.exg[bits.TrailingZeros64(set)]
+		st := sl.state.Load()
+		if st == exgEmpty || st == exgBusy {
+			continue // busy slots have not linearized yet (their counter bump follows staging)
+		}
+		e := sl.it.Load()
+		if e == nil || e.h != h {
+			continue // stale slot of an already-rebuilt head: merged or withdrawn, not present
+		}
+		view.any = true
+		if st == exgReady {
+			if view.ready == nil || e.p < view.readyP {
+				view.ready, view.readyP = sl, e.p
+			}
+		} else if e.p < view.pendP {
+			view.pendP = e.p
+		}
+	}
+	return view
+}
+
+// exgTake attempts to pop the exchange entry in sl, which the caller's
+// scan (run under head word hw) found ready with priority no greater
+// than every other possibly-present entry and the head minimum. The
+// reservation (ready→claimed) is revocable — other pops keep treating
+// the entry as present — so the failure paths below never un-linearize
+// anything. The take linearizes at the validating load of h's packed
+// word: unfrozen with an unchanged publish counter proves the scanned
+// minimality still holds at that instant (the head minimum only grows,
+// takes only remove entries, and no new entry has published).
+func (w *worker[T]) exgTake(h *chunk[T], hw uint64, sl *exgSlot[T]) (uint64, T, bool) {
+	var zero T
+	if !sl.state.CompareAndSwap(exgReady, exgClaimed) {
+		return 0, zero, false
+	}
+	e := sl.it.Load()
+	if e == nil || e.h != h {
+		sl.state.Store(exgReady)
+		return 0, zero, false
+	}
+	hw2 := h.idx.Load()
+	if hw2&headFrozen != 0 || (hw2^hw)&headSeqMask != 0 {
+		sl.state.Store(exgReady)
+		return 0, zero, false
+	}
+	sl.it.Store(nil)
+	w.q.exgMask.And(^(uint64(1) << uint(sl.i)))
+	sl.state.Store(exgEmpty)
+	w.c.Pops++
+	w.c.Eliminations++
+	return e.p, e.v, true
+}
+
 // Pop removes and returns a minimum-priority task, or ok=false when the
-// queue is empty. The hot path is one fetch-and-add — the returned
-// index is the claim, with no per-slot CAS: an index handed out before
-// the head's freeze is owned unconditionally, and one handed out after
-// carries the freeze bit and claims nothing (see freezeHead).
+// queue is empty. The hot path is one CAS on the head's packed word,
+// preceded by an exchange scan; the CAS doubles as the validation that
+// no smaller entry was published concurrently (see the package docs'
+// elimination section for the linearization argument).
 func (w *worker[T]) Pop() (uint64, T, bool) {
 	q := w.q
 	var zero T
 	for {
 		s := q.root.Load()
 		h := s.head
-		v := h.idx.Load()
-		if v&headFrozen == 0 && v < uint64(h.n) {
-			i := h.idx.Add(1) - 1
-			if i&headFrozen != 0 {
-				// The head was frozen between the load and the claim;
-				// help the rebuild and retry against the new spine.
-				w.c.LockFails++
-				q.rebuild(w, s)
-				continue
-			}
-			if i < uint64(h.n) {
-				it := h.items[i]
-				h.items[i].V = zero
+		hw := h.idx.Load()
+		if hw&headFrozen != 0 {
+			q.rebuild(w, s)
+			continue
+		}
+		v := hw & headIdxMask
+		ex := q.exgScan(h)
+		bm := s.buf.bmin.Load()
+		limit := min(ex.readyP, ex.pendP, bm)
+		if v < uint64(h.n) && h.items[v].P <= limit {
+			// Head claim. Success proves the publish counter is
+			// unchanged since the scan, so every exchange or buf entry
+			// present at this instant was accounted for and has
+			// priority >= items[v].P.
+			if h.idx.CompareAndSwap(hw, hw+1) {
+				it := h.items[v]
+				h.items[v].V = zero
 				w.c.Pops++
 				return it.P, it.V, true
 			}
-			v = i // drained, and observed unfrozen
+			w.c.LockFails++
+			continue
+		}
+		if ex.ready != nil && ex.readyP <= ex.pendP && ex.readyP <= bm {
+			if p, val, ok := w.exgTake(h, hw, ex.ready); ok {
+				return p, val, true
+			}
+			continue
+		}
+		if ex.any && min(ex.readyP, ex.pendP) < bm {
+			// The smallest possibly-present entry is mid-publish or
+			// reserved by another pop; both resolve within a few steps
+			// of their owner. (A smaller buf entry instead falls through
+			// to the rebuild below, which is what surfaces buf.)
+			runtime.Gosched()
+			continue
 		}
 		// Report empty only from a consistent snapshot: the head was
-		// observed drained with the freeze bit clear (so every head
-		// item belongs to a pop that linearized before now), and
-		// buf.ctl == 0 rules out both pending buf entries and an
-		// in-flight rebuild of s (a rebuild freezes buf — making ctl
-		// nonzero forever — before it touches the head or the root),
-		// so s was still the published spine and s.live authoritative
-		// at the moment of that load, which is the linearization point.
-		if v&headFrozen == 0 && s.buf.ctl.Load() == 0 && len(s.live) == 0 {
+		// observed drained with the freeze bit clear, the exchange scan
+		// found nothing, buf.ctl == 0 rules out both pending buf
+		// entries and an in-flight rebuild of s (a rebuild freezes buf
+		// — making ctl nonzero forever — before it touches the head or
+		// the root), and re-reading the packed word unchanged proves no
+		// exchange publish landed anywhere in the window. That second
+		// read is the linearization point.
+		if v >= uint64(h.n) && s.buf.ctl.Load() == 0 && len(s.live) == 0 && h.idx.Load() == hw {
 			w.c.EmptyPops++
 			return 0, zero, false
 		}
@@ -351,8 +735,10 @@ func (w *worker[T]) Pop() (uint64, T, bool) {
 }
 
 // PushN inserts a batch (see sched.Worker). The batch is sorted once;
-// each run of entries owned by the same chunk is published with a
-// single count-word CAS (or lands in buf and is merged by one rebuild).
+// below-head entries publish through the exchange while it has room,
+// and each remaining run of entries owned by the same chunk is
+// published with a single count-word CAS (or lands in buf and is
+// merged by one combining rebuild).
 func (w *worker[T]) PushN(ps []uint64, vs []T) {
 	sched.CheckPushN(len(ps), len(vs))
 	if len(ps) == 0 {
@@ -397,8 +783,20 @@ func (w *worker[T]) PushN(ps []uint64, vs []T) {
 		for j < len(batch) && batch[j].P < hi {
 			j++
 		}
+		for i < j && w.exgPublish(s.head, batch[i].P, batch[i].V) {
+			i++
+		}
+		if i >= j {
+			continue
+		}
 		if n := s.buf.tryAppendRun(w, batch[i:j]); n > 0 {
-			lastBuf = s.buf
+			// batch is ascending, so batch[i].P is the run's minimum;
+			// one counter bump linearizes the whole run unless the head
+			// froze first, in which case the run rides the in-flight
+			// rebuild (drained after the loop).
+			if !s.buf.publishBufMin(s.head, batch[i].P) {
+				lastBuf = s.buf
+			}
 			i += n
 			continue
 		}
@@ -417,49 +815,69 @@ func (w *worker[T]) PushN(ps []uint64, vs []T) {
 	w.batch = w.batch[:0]
 }
 
-// PopN claims up to len(dst) tasks with one fetch-and-add on the head's
-// delete index; the claimed run is consecutive sorted slots, so the
-// result is ascending by priority. As in Pop, the fetch-and-add is the
-// claim: a run reserved before the head's freeze is owned whole — a
-// racing freeze cuts strictly above it, never inside it — so the run
-// can never be returned with a smaller slot missing.
+// PopN removes up to len(dst) tasks. Each consecutive sorted head run
+// is claimed with one CAS on the packed word — bounded so the run
+// never overtakes a smaller exchange entry — and exchange takes fill
+// single batch slots. Every claimed task is individually exact at its
+// own linearization point; the batch is ascending in the absence of
+// concurrent pushes (see the package docs on batches).
 func (w *worker[T]) PopN(dst []sched.Task[T]) int {
 	if len(dst) == 0 {
 		return 0
 	}
 	q := w.q
 	var zero T
-	for {
+	n := 0
+	for n < len(dst) {
 		s := q.root.Load()
 		h := s.head
-		v := h.idx.Load()
-		if v&headFrozen == 0 && v < uint64(h.n) {
-			want := uint64(len(dst))
-			start := h.idx.Add(want) - want
-			if start&headFrozen != 0 {
-				w.c.LockFails++
-				q.rebuild(w, s)
+		hw := h.idx.Load()
+		if hw&headFrozen != 0 {
+			q.rebuild(w, s)
+			continue
+		}
+		v := hw & headIdxMask
+		ex := q.exgScan(h)
+		bm := s.buf.bmin.Load()
+		limit := min(ex.readyP, ex.pendP, bm)
+		if v < uint64(h.n) && h.items[v].P <= limit {
+			end := min(v+uint64(len(dst)-n), uint64(h.n))
+			for end > v+1 && h.items[end-1].P > limit {
+				end--
+			}
+			if h.idx.CompareAndSwap(hw, hw+(end-v)) {
+				for i := v; i < end; i++ {
+					dst[n] = h.items[i]
+					h.items[i].V = zero
+					n++
+				}
+				w.c.Pops += end - v
 				continue
 			}
-			if start < uint64(h.n) {
-				end := min(start+want, uint64(h.n))
-				n := int(end - start)
-				for i := start; i < end; i++ {
-					dst[i-start] = h.items[i]
-					h.items[i].V = zero
-				}
-				w.c.Pops += uint64(n)
-				return n
+			w.c.LockFails++
+			continue
+		}
+		if ex.ready != nil && ex.readyP <= ex.pendP && ex.readyP <= bm {
+			if p, val, ok := w.exgTake(h, hw, ex.ready); ok {
+				dst[n] = sched.Task[T]{P: p, V: val}
+				n++
 			}
-			v = start // drained, and observed unfrozen
+			continue
+		}
+		if ex.any && min(ex.readyP, ex.pendP) < bm {
+			runtime.Gosched()
+			continue
 		}
 		// Same consistent-snapshot emptiness argument as Pop.
-		if v&headFrozen == 0 && s.buf.ctl.Load() == 0 && len(s.live) == 0 {
-			w.c.EmptyPops++
-			return 0
+		if v >= uint64(h.n) && s.buf.ctl.Load() == 0 && len(s.live) == 0 && h.idx.Load() == hw {
+			break
 		}
 		q.rebuild(w, s)
 	}
+	if n == 0 {
+		w.c.EmptyPops++
+	}
+	return n
 }
 
 // tryAppend reserves one slot in a live chunk with a count-word CAS and
@@ -514,7 +932,9 @@ func (c *chunk[T]) tryAppendRun(w *worker[T], run []pq.Item[T]) int {
 // Returns the frozen count.
 func freezeLive[T any](c *chunk[T]) int {
 	n := int(c.ctl.Or(ctlFreeze) & ctlCount)
-	for i := 0; i < n; i++ {
+	// Slots below pre were published by the root CAS that installed the
+	// chunk; only appended slots carry per-slot ready bits to wait out.
+	for i := c.pre; i < n; i++ {
 		for spins := 0; c.flags[i].Load() != slotReady; spins++ {
 			if spins > 64 {
 				runtime.Gosched()
@@ -524,29 +944,60 @@ func freezeLive[T any](c *chunk[T]) int {
 	return n
 }
 
-// freezeHead freezes a head chunk atomically through its idx word: one
-// Or sets the freeze bit, and the count that Or observed is the claim
-// cut — every index below it was handed out by a fetch-and-add that
+// freezeHead freezes a head chunk atomically through its packed word:
+// one Or sets the freeze bit, and the index the Or observed is the
+// claim cut — every smaller index was advanced by a claim CAS that
 // preceded the freeze (an owned, already-linearized pop), and no index
-// at or above it can ever be claimed, because every later fetch-and-add
-// returns the freeze bit. The freeze is therefore a single linearization
-// cut: the survivors items[cut:n] are exactly the entries still in the
-// queue, with no per-slot window in which a popper could claim slot i
-// while an unclaimed smaller slot is frozen. The winning freezer
-// publishes the cut through h.cut (post-freeze fetch-and-adds keep
-// inflating the count, so losers of the Or cannot recompute it); the
-// wait for that publication is bounded by the winner being scheduled
-// across two instructions, like freezeLive's ready-flag wait.
+// at or above it can ever be claimed, because every CAS against a
+// frozen word fails. The same failure rule covers exchange publishes,
+// so the freeze simultaneously stops the exchange's publish counter.
+// The word is immutable once frozen (claims are CASes, not
+// fetch-and-adds, so nothing inflates it afterwards); every helper
+// therefore reads the same cut straight from the Or's return value,
+// with no separate cut publication or wait.
 func freezeHead[T any](h *chunk[T]) int {
 	v := h.idx.Or(headFrozen)
-	if v&headFrozen == 0 {
-		cut := min(v, uint64(h.n))
-		h.cut.Store(cut | cutValid)
-		return int(cut)
-	}
+	return int(min(v&headIdxMask, uint64(h.n)))
+}
+
+// exgDrain waits for the exchange array to settle against the frozen
+// head of s and returns the slots holding its surviving entries. After
+// the head freeze no publish can linearize (the counter CAS fails on a
+// frozen word) and no take can validate (its load sees the freeze
+// bit), so every slot resolves in a bounded number of its owner's
+// steps: mid-publish entries withdraw to empty, reservations revert to
+// ready, and takes that validated before the freeze finish emptying
+// their slot. The settled ready set under this head is then identical
+// for every helper, which is what keeps helper candidates equivalent.
+// Returns ok=false when the root moved off s while waiting — another
+// helper completed the rebuild and this attempt is moot.
+func (q *Queue[T]) exgDrain(w *worker[T], s *spine[T]) ([]*exgSlot[T], bool) {
+	h := s.head
+	out := w.exgTaken[:0]
 	for spins := 0; ; spins++ {
-		if c := h.cut.Load(); c&cutValid != 0 {
-			return int(c &^ cutValid)
+		if q.root.Load() != s {
+			w.exgTaken = out[:0]
+			return nil, false
+		}
+		out = out[:0]
+		settled := true
+		for i := range q.exg {
+			sl := &q.exg[i]
+			switch sl.state.Load() {
+			case exgBusy, exgStaged, exgClaimed:
+				settled = false
+			case exgReady:
+				if e := sl.it.Load(); e != nil && e.h == h {
+					out = append(out, sl)
+				}
+			}
+			if !settled {
+				break
+			}
+		}
+		if settled {
+			w.exgTaken = out
+			return out, true
 		}
 		if spins > 64 {
 			runtime.Gosched()
@@ -555,10 +1006,16 @@ func freezeHead[T any](h *chunk[T]) int {
 }
 
 // rebuild replaces spine s with one whose head is freshly sorted from
-// the head's unclaimed survivors plus the frozen buf — pulling in whole
-// interior chunks until the head is full — plus spill chunks for the
-// overflow and an empty buf. Safe to call from any thread at any time;
-// helpers build equivalent candidates and exactly one root CAS wins.
+// the head's unclaimed survivors plus the frozen buf and the settled
+// exchange entries — pulling in whole interior chunks until the head
+// is full — plus spill chunks for the overflow and an empty buf. This
+// is the combining path: however many below-head inserts are pending
+// across buf and the exchange, one cycle merges them all. Safe to call
+// from any thread at any time; helpers build equivalent candidates and
+// exactly one root CAS wins. Only the winner resets the merged
+// exchange slots (losers must not: the settled set must stay intact
+// until the winning spine is published); until the reset the slots are
+// inert, since their recorded head is frozen forever.
 func (q *Queue[T]) rebuild(w *worker[T], s *spine[T]) {
 	if q.root.Load() != s {
 		return
@@ -566,53 +1023,149 @@ func (q *Queue[T]) rebuild(w *worker[T], s *spine[T]) {
 	bn := freezeLive(s.buf)
 	h := s.head
 	cut := freezeHead(h)
+	ex, ok := q.exgDrain(w, s)
+	if !ok {
+		return
+	}
 	m := w.merge[:0]
 	m = append(m, h.items[cut:h.n]...)
+	// The survivors are the head's sorted tail; everything appended
+	// after this point (buf, exchange, pulled-in interior chunks) is
+	// unordered. Remembering the boundary lets the sort below touch
+	// only the unordered part.
+	sorted := len(m)
 	m = append(m, s.buf.items[:bn]...)
-	// Pull in whole interior chunks until the new head is full: always
-	// rebuilding to a full sorted head is what keeps the amortization
-	// (one rebuild per ~ChunkCap pops) — promoting only on a fully
-	// drained head would let heads shrink and rebuilds cascade. The
-	// rule is a deterministic function of the frozen counts, so
-	// concurrent helpers still build equivalent candidates.
+	for _, sl := range ex {
+		// Only the winner ever resets these slots, and under a frozen
+		// head no take can empty them, so for the eventual winner every
+		// collected entry is still resident; a lagging helper may read
+		// nil or a re-published entry under a different head here, but
+		// its candidate is doomed (the root has already moved) and the
+		// pointer swap keeps even that read coherent.
+		if e := sl.it.Load(); e != nil && e.h == h {
+			m = append(m, pq.Item[T]{P: e.p, V: e.v})
+		}
+	}
+	// Pull in whole interior chunks until the new head is nearly full:
+	// always rebuilding to a ~headCap head is what keeps the
+	// amortization (one rebuild per ~headCap pops) — promoting only on
+	// a fully drained head would let heads shrink and rebuilds cascade.
+	// The pull target sits one chunk below the fill target so that a
+	// whole-chunk overshoot still lands within headCap, which preserves
+	// the head array's slack (see below) for the absorb rebuilds that
+	// follow. The rule is a deterministic function of the frozen
+	// counts, so concurrent helpers still build equivalent candidates.
 	cap_ := q.cfg.ChunkCap
+	hcap := q.headCap
 	live := s.live
-	for len(m) < cap_ && len(live) > 0 {
+	pullTo := max(hcap-cap_, min(hcap, cap_))
+	for len(m) < pullTo && len(live) > 0 {
 		ln := freezeLive(live[0])
 		m = append(m, live[0].items[:ln]...)
 		live = live[1:]
 	}
-	slices.SortFunc(m, itemCmp)
+	// In the hold steady state the merge set is dominated by the
+	// already-sorted survivor run, so sort only the unordered tail and
+	// merge the two runs instead of re-sorting the whole set.
+	if sorted < len(m) {
+		slices.SortFunc(m[sorted:], itemCmp)
+		if sorted > 0 {
+			m = w.mergeRuns(m, sorted)
+		}
+	}
 
-	nh := min(len(m), cap_)
-	head2 := w.getChunk()
+	// Small overflows stay in the head: head arrays carry a full chunk
+	// of slack beyond the headCap fill target, so neither a merge set
+	// that barely exceeds the target nor a pull-in that overshoots it
+	// by part of a chunk sheds a tiny spill chunk. Tiny spills are
+	// poison in the hold steady state — each becomes an interior chunk
+	// just above the head, they accumulate one per rebuild, and routing
+	// plus split churn lands on the decremental fast path — so a
+	// rebuild only spills when a chunk's worth of overflow has built
+	// up, and the spilled run is then at least half a chunk itself.
+	head2 := w.getHead()
+	nh := len(m)
+	if nh > len(head2.items) {
+		nh = hcap
+	}
 	head2.n = nh
 	copy(head2.items[:nh], m[:nh])
 
+	// Spill the overflow in equal-sized runs of at least half a chunk
+	// (never a 512,512,57-style remainder: a sub-half spill chunk fills
+	// and splits almost immediately).
 	rest := m[nh:]
-	newLive := make([]*chunk[T], 0, (len(rest)+cap_/2)/max(1, cap_/2)+len(live))
-	for len(rest) > 0 {
-		r := min(len(rest), max(1, cap_/2))
+	nspill := max(1, len(rest)/max(1, cap_/2))
+	newLive := make([]*chunk[T], 0, nspill+len(live))
+	mins2 := make([]uint64, 0, cap(newLive))
+	for n := nspill; len(rest) > 0; n-- {
+		r := (len(rest) + n - 1) / n
 		newLive = append(newLive, w.prefill(rest[0].P, rest[:r]))
+		mins2 = append(mins2, rest[0].P)
 		rest = rest[r:]
 	}
 	newLive = append(newLive, live...)
+	mins2 = append(mins2, s.mins[len(s.mins)-len(live):]...)
 
-	s2 := &spine[T]{head: head2, buf: w.getChunk(), live: newLive}
+	s2 := &spine[T]{head: head2, buf: w.getChunk(), live: newLive, mins: mins2}
 	if q.root.CompareAndSwap(s, s2) {
 		w.commitBuilt()
+		if bn+len(ex) > 0 {
+			w.c.Combines += uint64(bn + len(ex))
+		}
+		// Reset the merged slots. The nil entry releases the payload and
+		// makes the slot invisible to scans (a lagging helper still
+		// reading for its doomed candidate just sees the atomic swap);
+		// the CAS waits out any transient reservation flap from an
+		// old-generation pop about to notice the freeze.
+		for _, sl := range ex {
+			sl.it.Store(nil)
+			q.exgMask.And(^(uint64(1) << uint(sl.i)))
+			for !sl.state.CompareAndSwap(exgReady, exgEmpty) {
+				runtime.Gosched()
+			}
+		}
 	} else {
 		w.c.LockFails++
 		w.recycleBuilt()
 	}
+	// mergeRuns may have swapped the scratch buffers; release payload
+	// references held by both so neither retains popped values.
 	clear(m)
 	w.merge = m[:0]
+	clear(w.merge2)
+	w.merge2 = w.merge2[:0]
+}
+
+// mergeRuns merges the two ascending runs m[:k] and m[k:] into the
+// worker's partner scratch buffer, swaps the two buffers' roles, and
+// returns the merged slice. rebuild uses it because its merge set is
+// mostly the head's already-sorted survivors: sorting only the short
+// unordered tail and merging the runs is much cheaper than re-sorting
+// the whole set every ~ChunkCap pops.
+func (w *worker[T]) mergeRuns(m []pq.Item[T], k int) []pq.Item[T] {
+	out := w.merge2[:0]
+	i, j := 0, k
+	for i < k && j < len(m) {
+		if m[j].P < m[i].P {
+			out = append(out, m[j])
+			j++
+		} else {
+			out = append(out, m[i])
+			i++
+		}
+	}
+	out = append(out, m[i:k]...)
+	out = append(out, m[j:]...)
+	w.merge2 = m
+	return out
 }
 
 // split replaces the frozen (or about-to-freeze) live chunk s.live[k]
 // with two halves around its median — or a single thawed copy when it
 // holds fewer than two entries. Like rebuild, any thread can help and
-// one root CAS wins.
+// one root CAS wins. The head and its exchange entries are untouched:
+// a split never changes live[0].min, so "below head" stays below head.
 func (q *Queue[T]) split(w *worker[T], s *spine[T], k int) {
 	if q.root.Load() != s {
 		return
@@ -621,21 +1174,30 @@ func (q *Queue[T]) split(w *worker[T], s *spine[T], k int) {
 	n := freezeLive(c)
 	m := w.merge[:0]
 	m = append(m, c.items[:n]...)
-	slices.SortFunc(m, itemCmp)
 
 	var repl []*chunk[T]
 	if len(m) < 2 {
 		repl = []*chunk[T]{w.prefill(c.min, m)}
 	} else {
-		mid := len(m) / 2
+		// A split only needs the median boundary, not sorted halves:
+		// interior chunk membership is unordered by design (ordering is
+		// established when a rebuild pulls the chunk into a sorted
+		// head), so a quickselect partition replaces the full sort.
+		mid := partitionMid(m)
 		repl = []*chunk[T]{w.prefill(c.min, m[:mid]), w.prefill(m[mid].P, m[mid:])}
 	}
 	newLive := make([]*chunk[T], 0, len(s.live)+1)
 	newLive = append(newLive, s.live[:k]...)
 	newLive = append(newLive, repl...)
 	newLive = append(newLive, s.live[k+1:]...)
+	mins2 := make([]uint64, 0, len(s.mins)+1)
+	mins2 = append(mins2, s.mins[:k]...)
+	for _, rc := range repl {
+		mins2 = append(mins2, rc.min)
+	}
+	mins2 = append(mins2, s.mins[k+1:]...)
 
-	s2 := &spine[T]{head: s.head, buf: s.buf, live: newLive}
+	s2 := &spine[T]{head: s.head, buf: s.buf, live: newLive, mins: mins2}
 	if q.root.CompareAndSwap(s, s2) {
 		w.commitBuilt()
 	} else {
@@ -646,15 +1208,64 @@ func (q *Queue[T]) split(w *worker[T], s *spine[T], k int) {
 	w.merge = m[:0]
 }
 
+// partitionMid reorders m (len >= 2) so that every element of m[:mid]
+// is <= every element of m[mid:] and m[mid] holds exactly the value a
+// full sort would place at mid, where mid = len(m)/2. Hoare-partition
+// quickselect with median-of-three pivots, falling back to a sort once
+// the segment straddling mid is small. Deterministic (no randomness),
+// so concurrent helpers partitioning identical frozen snapshots still
+// build equivalent split candidates; expected O(n) versus the
+// O(n log n) full sort it replaces, and n is bounded by ChunkCap.
+func partitionMid[T any](m []pq.Item[T]) int {
+	mid := len(m) / 2
+	lo, hi := 0, len(m)
+	for hi-lo > 8 {
+		p := med3(m[lo].P, m[(lo+hi)/2].P, m[hi-1].P)
+		i, j := lo-1, hi
+		for {
+			for i++; m[i].P < p; i++ {
+			}
+			for j--; m[j].P > p; j-- {
+			}
+			if i >= j {
+				break
+			}
+			m[i], m[j] = m[j], m[i]
+		}
+		// Hoare invariant: m[lo:j+1] <= p <= m[j+1:hi], and with a
+		// median-of-three pivot j lands strictly inside the segment, so
+		// narrowing to the side holding mid always makes progress.
+		if mid <= j {
+			hi = j + 1
+		} else {
+			lo = j + 1
+		}
+	}
+	slices.SortFunc(m[lo:hi], itemCmp)
+	return mid
+}
+
+// med3 returns the median of three priorities.
+func med3(a, b, c uint64) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	return max(a, b)
+}
+
 // prefill builds a fully published live chunk holding items, with range
 // lower bound min.
 func (w *worker[T]) prefill(min uint64, items []pq.Item[T]) *chunk[T] {
 	c := w.getChunk()
 	c.min = min
 	copy(c.items, items)
-	for i := range items {
-		c.flags[i].Store(slotReady)
-	}
+	// No per-slot ready bits: the chunk is private until the root CAS
+	// publishes it, which orders these plain writes for every reader;
+	// pre tells freezeLive the prefix needs no flag spin.
+	c.pre = len(items)
 	c.ctl.Store(uint64(len(items)))
 	return c
 }
@@ -673,27 +1284,62 @@ func (w *worker[T]) getChunk() *chunk[T] {
 			flags: make([]atomic.Uint32, w.q.cfg.ChunkCap),
 		}
 	}
+	c.bmin.Store(^uint64(0))
+	w.built = append(w.built, c)
+	return c
+}
+
+// getHead is getChunk for head candidates: items sized headCap plus a
+// chunk of spill slack (see rebuild), no flags (heads are
+// immutable after their publishing CAS and consumed through the packed
+// idx word, so per-slot ready bits are meaningless).
+func (w *worker[T]) getHead() *chunk[T] {
+	var c *chunk[T]
+	if n := len(w.freeHead); n > 0 {
+		c = w.freeHead[n-1]
+		w.freeHead[n-1] = nil
+		w.freeHead = w.freeHead[:n-1]
+	} else {
+		n := w.q.headCap + w.q.cfg.ChunkCap
+		if n > (1<<headIdxBits)-1 {
+			n = (1 << headIdxBits) - 1
+		}
+		c = &chunk[T]{items: make([]pq.Item[T], n)}
+	}
+	c.bmin.Store(^uint64(0))
 	w.built = append(w.built, c)
 	return c
 }
 
 // commitBuilt forgets the candidates of a won CAS: they are published
 // now and must never return to the pool (that would ABA the root CAS).
-func (w *worker[T]) commitBuilt() { w.built = w.built[:0] }
+// The pointers are nilled, not just truncated away: a published chunk
+// eventually retires carrying unzeroed survivor copies, and a stale
+// pointer in the scratch backing array would pin those payloads.
+func (w *worker[T]) commitBuilt() {
+	clear(w.built)
+	w.built = w.built[:0]
+}
 
 // recycleBuilt returns the candidates of a lost CAS — memory no other
 // thread has ever seen — to the freelist, zeroed so the pool retains no
 // task payloads.
 func (w *worker[T]) recycleBuilt() {
 	for _, c := range w.built {
-		if len(w.free) < maxFreeChunks {
-			c.min, c.n = 0, 0
+		// Head candidates carry no flags and have their own pool: their
+		// items are headCap-sized and a flagless chunk must never serve
+		// as an interior chunk or buf.
+		pool := &w.free
+		if c.flags == nil {
+			pool = &w.freeHead
+		}
+		if len(*pool) < maxFreeChunks {
+			c.min, c.n, c.pre = 0, 0, 0
 			c.idx.Store(0)
-			c.cut.Store(0)
 			c.ctl.Store(0)
 			clear(c.items)
 			clear(c.flags)
-			w.free = append(w.free, c)
+			*pool = append(*pool, c)
 		}
 	}
 	clear(w.built)

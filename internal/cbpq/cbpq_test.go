@@ -17,8 +17,15 @@ import (
 // minimum of the live set, for both the default and a tiny chunk
 // capacity (the latter forces constant splits and rebuilds).
 func TestSequentialExact(t *testing.T) {
-	for _, cap_ := range []int{0, 4, 8} {
-		q := New[int](Config{Workers: 1, ChunkCap: cap_})
+	for _, cfg := range []Config{
+		{Workers: 1},
+		{Workers: 1, ChunkCap: 4},
+		{Workers: 1, ChunkCap: 8},
+		{Workers: 1, DisableElimination: true},
+		{Workers: 1, ChunkCap: 8, DisableElimination: true},
+	} {
+		cap_ := cfg.ChunkCap
+		q := New[int](cfg)
 		w := q.Worker(0)
 		rng := rand.New(rand.NewSource(42))
 		var model []uint64
@@ -216,18 +223,29 @@ type popRec struct {
 }
 
 // exactnessRun empirically checks that concurrent pops are exact (rank
-// displacement 0) while rebuilds race them. The queue is prefilled with
-// priorities >= loPrefill whose pushes complete before the concurrent
-// phase; antagonists then push below-head priorities (each forces a
-// freeze/rebuild of a partially drained head) while poppers timestamp
-// every pop with a shared atomic clock. Offline it asserts: no pop may
-// return a prefilled priority px while a prefilled item with priority
-// < px was continuously present across the pop's whole interval — that
-// is, an item popped only by an operation that began after this pop
-// returned, or never popped at all. Any such pair is a linearizability
-// violation (the pop did not return the minimum), and it is exactly the
-// observable signature of a freeze/claim race that lets a popper take
-// slot i while smaller frozen-but-unclaimed slots are republished.
+// displacement 0) while rebuilds and eliminations race them. The queue
+// is prefilled with priorities >= loPrefill whose pushes complete
+// before the concurrent phase; antagonists then push below-head
+// priorities — with elimination these land in the exchange array, so
+// racing pops must arbitrate takes against head claims, and overflow
+// forces combining rebuilds of a partially drained head — and
+// interleave pops of their own (the elimination antagonist: a pop
+// racing the publish window of a below-head push), while every pop is
+// timestamped with a shared atomic clock. Offline it asserts: no pop
+// may return a prefilled priority px while a prefilled item with
+// priority < px was continuously present across the pop's whole
+// interval — that is, an item popped only by an operation that began
+// after this pop returned, or never popped at all. Any such pair is a
+// linearizability violation (the pop did not return the minimum), and
+// it is exactly the observable signature of a freeze/claim race that
+// lets a popper take slot i while smaller frozen-but-unclaimed slots
+// are republished — or, with elimination, of a head claim or exchange
+// take that overlooked a smaller entry resident in an exchange slot.
+// The interval analysis covers exchange-slot residency with no extra
+// cases: a published exchange entry is linearized queue content, so an
+// eliminating take is just a pop with its own interval, and an entry
+// parked across another pop's whole interval is exactly the
+// "continuously present" witness the suffix-min scan looks for.
 func exactnessRun(t *testing.T, poppers, prefill, antagonists, perAntagonist, chunkCap int, seed int64) {
 	t.Helper()
 	q := New[uint64](Config{Workers: poppers + antagonists + 1, ChunkCap: chunkCap})
@@ -238,7 +256,7 @@ func exactnessRun(t *testing.T, poppers, prefill, antagonists, perAntagonist, ch
 	}
 
 	var clock atomic.Uint64
-	recs := make([][]popRec, poppers)
+	recs := make([][]popRec, poppers+antagonists)
 	attempts := 2 * (prefill + antagonists*perAntagonist) / poppers
 	start := make(chan struct{})
 	var wg sync.WaitGroup
@@ -275,10 +293,24 @@ func exactnessRun(t *testing.T, poppers, prefill, antagonists, perAntagonist, ch
 			defer wg.Done()
 			w := q.Worker(1 + poppers + ai)
 			rng := rand.New(rand.NewSource(seed ^ int64(ai+1)*0x9e3779b9))
+			rs := make([]popRec, 0, perAntagonist/3+1)
 			<-start
 			for i := 0; i < perAntagonist; i++ {
 				w.Push(uint64(rng.Intn(int(loPrefill))), uint64(1<<40+i))
+				if i%3 == 2 {
+					// The elimination antagonist: a pop issued right
+					// behind a below-head push, racing the exchange
+					// publish/take windows. Its observations join the
+					// displacement analysis like any popper's.
+					st := clock.Add(1)
+					p, _, ok := w.Pop()
+					en := clock.Add(1)
+					if ok {
+						rs = append(rs, popRec{st, en, p})
+					}
+				}
 			}
+			recs[poppers+ai] = rs
 		}(ai)
 	}
 	close(start)

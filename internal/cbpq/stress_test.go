@@ -122,3 +122,70 @@ func TestStressExactness(t *testing.T) {
 		}
 	}
 }
+
+// TestStressElimination soaks the exchange layer specifically: every
+// worker runs the decremental hold pattern (pop the minimum, reinsert
+// just above it — always below-head), so pushes and pops collide in the
+// exchange array constantly, with slot recycling, withdraw-on-freeze,
+// reservation flaps, and combining rebuilds all racing. Conservation is
+// checked at the end, and the run asserts the elimination path actually
+// fired — a protocol change that silently routed everything through buf
+// would soak nothing.
+func TestStressElimination(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for _, cap_ := range []int{8, 0} {
+		q := New[uint64](Config{Workers: workers, ChunkCap: cap_})
+		var pushed, popped atomic.Uint64
+		seed := q.Worker(0)
+		for i := 0; i < 4096; i++ {
+			seed.Push(uint64(100000+i*7), uint64(i))
+			pushed.Add(1)
+		}
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w := q.Worker(wi)
+				rng := rand.New(rand.NewSource(int64(wi)*40503 + 3))
+				for i := 0; i < 40000; i++ {
+					p, v, ok := w.Pop()
+					if !ok {
+						continue
+					}
+					popped.Add(1)
+					// Re-insert just above the popped minimum: below the
+					// (risen) head minimum with high probability.
+					w.Push(p+uint64(rng.Intn(64)), v)
+					pushed.Add(1)
+				}
+			}(wi)
+		}
+		wg.Wait()
+
+		w := q.Worker(0)
+		remaining := uint64(0)
+		prev := uint64(0)
+		for {
+			p, _, ok := w.Pop()
+			if !ok {
+				break
+			}
+			if p < prev {
+				t.Fatalf("final drain out of order: %d after %d", p, prev)
+			}
+			prev = p
+			remaining++
+		}
+		if pushed.Load() != popped.Load()+remaining {
+			t.Fatalf("conservation: pushed=%d popped=%d remaining=%d",
+				pushed.Load(), popped.Load(), remaining)
+		}
+		if st := q.Stats(); st.Eliminations == 0 {
+			t.Fatalf("hold soak recorded zero eliminations (stats: %+v)", st)
+		}
+	}
+}

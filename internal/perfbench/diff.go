@@ -23,8 +23,10 @@ type DiffEntry struct {
 	// "scheduler/model" keys.
 	Scheduler string
 	// Metric is the compared quantity ("throughput_ops_per_sec",
-	// "batched_throughput_ops_per_sec", "pop_latency_p99_ns",
-	// "serve_throughput_tasks_per_sec", "desim_events_per_sec").
+	// "batched_throughput_ops_per_sec", "hold_throughput_ops_per_sec",
+	// "eliminations", "combines", "pop_latency_p99_ns",
+	// "serve_throughput_tasks_per_sec", "desim_events_per_sec",
+	// "desim_causality_violations").
 	Metric string
 	// Old and New are the two values; Delta is (new−old)/old.
 	Old, New, Delta float64
@@ -32,6 +34,12 @@ type DiffEntry struct {
 	// (throughput down, latency up); Flagged marks any change beyond
 	// the threshold, improvements included.
 	Flagged, Regression bool
+	// Hard marks a correctness-grade regression that no threshold or
+	// informational mode may wave through: today, causality violations
+	// increasing on a desim run whose lookahead window rests on an
+	// exact rank bound. benchcheck exits nonzero on any hard entry
+	// regardless of -fail.
+	Hard bool
 }
 
 // DiffReport is the full comparison of two reports.
@@ -71,10 +79,71 @@ func (d *DiffReport) Regressions() []DiffEntry {
 	return out
 }
 
-// lowerIsBetter reports whether a metric improves downward (latencies)
-// rather than upward (throughputs).
+// HardErrors returns the entries marked Hard — regressions that remain
+// fatal even in informational diff mode.
+func (d *DiffReport) HardErrors() []DiffEntry {
+	var out []DiffEntry
+	for _, e := range d.Entries {
+		if e.Hard {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// lowerIsBetter reports whether a metric improves downward rather than
+// upward (throughputs, elimination hits). Latencies improve downward,
+// and so do the combining and violation counters: combines count
+// below-head inserts that missed the elimination fast path and had to
+// be merged structurally, so on the same workload more of them means
+// the fast path absorbed less.
 func lowerIsBetter(metric string) bool {
+	switch metric {
+	case "combines", "desim_causality_violations":
+		return true
+	}
 	return strings.HasSuffix(metric, "_ns")
+}
+
+// metricWorkload maps a metric to the workload facet that produced it,
+// the key the -workload diff filter matches against.
+func metricWorkload(metric string) string {
+	switch metric {
+	case "throughput_ops_per_sec":
+		return "scalar"
+	case "batched_throughput_ops_per_sec":
+		return "batched"
+	case "hold_throughput_ops_per_sec", "eliminations", "combines":
+		return "hold"
+	case "pop_latency_p99_ns":
+		return "latency"
+	}
+	switch {
+	case strings.HasPrefix(metric, "serve_"):
+		return "serve"
+	case strings.HasPrefix(metric, "desim_"):
+		return "desim"
+	}
+	return ""
+}
+
+// Workloads lists the facet names FilterWorkload accepts.
+func Workloads() []string {
+	return []string{"scalar", "batched", "hold", "latency", "serve", "desim"}
+}
+
+// FilterWorkload narrows the diff to the entries of one workload facet
+// (see Workloads). The drift lists are preserved — lineup drift is
+// facet-independent. Unknown names yield an empty entry list, which the
+// caller should reject against Workloads up front.
+func (d *DiffReport) FilterWorkload(workload string) *DiffReport {
+	out := &DiffReport{Threshold: d.Threshold, OnlyOld: d.OnlyOld, OnlyNew: d.OnlyNew}
+	for _, e := range d.Entries {
+		if metricWorkload(e.Metric) == workload {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out
 }
 
 // DefaultDiffThreshold is the relative change (25%) at which a paired
@@ -146,6 +215,12 @@ func Diff(old, new_ *Report, threshold float64) *DiffReport {
 		o, n := oldRes[k], newRes[k]
 		add(k, "throughput_ops_per_sec", o.ThroughputOpsPerSec, n.ThroughputOpsPerSec)
 		add(k, "batched_throughput_ops_per_sec", o.BatchedThroughputOpsPerSec, n.BatchedThroughputOpsPerSec)
+		add(k, "hold_throughput_ops_per_sec", o.HoldThroughputOpsPerSec, n.HoldThroughputOpsPerSec)
+		// The elimination/combining counters compare only when both
+		// artifacts carry them (add skips zero values), i.e. both runs
+		// recorded the hold facet on a scheduler with the layer.
+		add(k, "eliminations", float64(o.Eliminations), float64(n.Eliminations))
+		add(k, "combines", float64(o.Combines), float64(n.Combines))
 		add(k, "pop_latency_p99_ns", o.PopP99Ns, n.PopP99Ns)
 	})
 
@@ -172,7 +247,26 @@ func Diff(old, new_ *Report, threshold float64) *DiffReport {
 		newDesim[dr.Scheduler+"/"+dr.Model] = dr
 	}
 	pair("desim", keys(oldDesim), keys(newDesim), func(k string) {
-		add(k, "desim_events_per_sec", oldDesim[k].EventsPerSec, newDesim[k].EventsPerSec)
+		o, n := oldDesim[k], newDesim[k]
+		add(k, "desim_events_per_sec", o.EventsPerSec, n.EventsPerSec)
+		// Causality violations increasing under an exact rank bound is
+		// not a performance delta, it is a broken safety claim: the diff
+		// reports it as a hard error regardless of threshold or -fail
+		// (Validate rejects such artifacts when the window covers the
+		// bound; the diff catches the window-below-bound configurations
+		// Validate cannot judge).
+		if n.BoundSource == "exact" && n.Violations > o.Violations {
+			delta := math.Inf(1)
+			if o.Violations > 0 {
+				delta = (float64(n.Violations) - float64(o.Violations)) / float64(o.Violations)
+			}
+			d.Entries = append(d.Entries, DiffEntry{
+				Scheduler: k, Metric: "desim_causality_violations",
+				Old: float64(o.Violations), New: float64(n.Violations),
+				Delta:   delta,
+				Flagged: true, Regression: true, Hard: true,
+			})
+		}
 	})
 
 	sort.Slice(d.Entries, func(i, j int) bool {
@@ -198,23 +292,27 @@ func keys[V any](m map[string]*V) []string {
 }
 
 // Format renders the diff as an aligned text table: flagged rows carry
-// a "!" marker ("!!" for regressions), lineup drift is listed at the
-// end. onlyFlagged restricts the table to flagged rows.
+// a "!" marker ("!!" for regressions, "!!!" for hard errors), lineup
+// drift is listed at the end. onlyFlagged restricts the table to
+// flagged rows.
 func (d *DiffReport) Format(onlyFlagged bool) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-2s %-16s %-32s %14s %14s %8s\n", "", "scheduler", "metric", "old", "new", "delta")
+	fmt.Fprintf(&b, "%-3s %-16s %-32s %14s %14s %8s\n", "", "scheduler", "metric", "old", "new", "delta")
 	rows := 0
 	for _, e := range d.Entries {
 		if onlyFlagged && !e.Flagged {
 			continue
 		}
 		mark := ""
-		if e.Regression {
+		switch {
+		case e.Hard:
+			mark = "!!!"
+		case e.Regression:
 			mark = "!!"
-		} else if e.Flagged {
+		case e.Flagged:
 			mark = "!"
 		}
-		fmt.Fprintf(&b, "%-2s %-16s %-32s %14.4g %14.4g %+7.1f%%\n",
+		fmt.Fprintf(&b, "%-3s %-16s %-32s %14.4g %14.4g %+7.1f%%\n",
 			mark, e.Scheduler, e.Metric, e.Old, e.New, 100*e.Delta)
 		rows++
 	}

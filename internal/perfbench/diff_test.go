@@ -122,7 +122,7 @@ func TestDiffFormat(t *testing.T) {
 	d := Diff(old, new_, 0.25)
 	full := d.Format(false)
 	for _, want := range []string{
-		"!! coarse", "pop_latency_p99_ns", "+200.0%",
+		"!!  coarse", "pop_latency_p99_ns", "+200.0%",
 		"-  results:obim only in old report",
 		"+  results:cbpq only in new report",
 	} {
@@ -136,5 +136,122 @@ func TestDiffFormat(t *testing.T) {
 	}
 	if !strings.Contains(flagged, "coarse/cluster") {
 		t.Errorf("flagged-only format missing flagged desim row:\n%s", flagged)
+	}
+}
+
+// TestDiffHoldAndCounters: the hold facet pairs like the other
+// throughputs, and the elimination/combining counters compare only when
+// both artifacts carry them — with eliminations improving upward and
+// combines improving downward.
+func TestDiffHoldAndCounters(t *testing.T) {
+	old := &Report{Results: []Result{{
+		Scheduler: "cbpq", ThroughputOpsPerSec: 1000,
+		HoldThroughputOpsPerSec: 400000, Eliminations: 1000, Combines: 4000,
+	}}}
+	new_ := &Report{Results: []Result{{
+		Scheduler: "cbpq", ThroughputOpsPerSec: 1000,
+		HoldThroughputOpsPerSec: 4_200_000, Eliminations: 390000, Combines: 900,
+	}}}
+	d := Diff(old, new_, 0.25)
+	get := func(metric string) DiffEntry {
+		t.Helper()
+		for _, e := range d.Entries {
+			if e.Metric == metric {
+				return e
+			}
+		}
+		t.Fatalf("no entry for %s", metric)
+		return DiffEntry{}
+	}
+	if e := get("hold_throughput_ops_per_sec"); !e.Flagged || e.Regression {
+		t.Errorf("10x hold speedup misclassified: %+v", e)
+	}
+	if e := get("eliminations"); !e.Flagged || e.Regression {
+		t.Errorf("elimination-hit growth misclassified: %+v", e)
+	}
+	if e := get("combines"); !e.Flagged || e.Regression {
+		t.Errorf("combining-miss drop misclassified: %+v", e)
+	}
+	// Reversed direction: counters regress.
+	rev := Diff(new_, old, 0.25)
+	var elimReg, combReg bool
+	for _, e := range rev.Regressions() {
+		switch e.Metric {
+		case "eliminations":
+			elimReg = true
+		case "combines":
+			combReg = true
+		}
+	}
+	if !elimReg || !combReg {
+		t.Errorf("reversed counters not regressions: %+v", rev.Regressions())
+	}
+	// Counters missing from one side pair nothing.
+	noCounters := &Report{Results: []Result{{Scheduler: "cbpq", ThroughputOpsPerSec: 1000}}}
+	for _, e := range Diff(noCounters, new_, 0.25).Entries {
+		if e.Metric == "eliminations" || e.Metric == "combines" {
+			t.Errorf("counter entry manufactured from one-sided data: %+v", e)
+		}
+	}
+}
+
+// TestDiffHardViolationRule: causality violations increasing on an
+// exact-bound desim run is a hard error, present regardless of
+// threshold and surfaced by HardErrors.
+func TestDiffHardViolationRule(t *testing.T) {
+	old := &Report{Desim: []DesimResult{{
+		Scheduler: "cbpq", Model: "dag", EventsPerSec: 1e6,
+		BoundSource: "exact", Violations: 0,
+	}}}
+	new_ := &Report{Desim: []DesimResult{{
+		Scheduler: "cbpq", Model: "dag", EventsPerSec: 1e6,
+		BoundSource: "exact", Violations: 3,
+	}}}
+	d := Diff(old, new_, 0.25)
+	hard := d.HardErrors()
+	if len(hard) != 1 || hard[0].Metric != "desim_causality_violations" || !hard[0].Regression {
+		t.Fatalf("HardErrors = %+v, want one desim_causality_violations regression", hard)
+	}
+	if !strings.Contains(d.Format(true), "!!!") {
+		t.Errorf("hard entry not marked in Format:\n%s", d.Format(true))
+	}
+	// Expectation-scale bounds stay informational: violations there are
+	// expected behaviour, not broken claims.
+	new_.Desim[0].BoundSource = "expectation"
+	if h := Diff(old, new_, 0.25).HardErrors(); len(h) != 0 {
+		t.Errorf("expectation-bound violations marked hard: %+v", h)
+	}
+	// No increase, no entry.
+	new_.Desim[0].BoundSource = "exact"
+	new_.Desim[0].Violations = 0
+	if h := Diff(old, new_, 0.25).HardErrors(); len(h) != 0 {
+		t.Errorf("unchanged violations marked hard: %+v", h)
+	}
+}
+
+// TestDiffFilterWorkload: the -workload filter keeps exactly the
+// facet's entries and preserves lineup drift.
+func TestDiffFilterWorkload(t *testing.T) {
+	old, new_ := diffFixtures()
+	old.Results[0].HoldThroughputOpsPerSec = 100
+	new_.Results[0].HoldThroughputOpsPerSec = 500
+	d := Diff(old, new_, 0.25)
+	f := d.FilterWorkload("hold")
+	if len(f.Entries) != 1 || f.Entries[0].Metric != "hold_throughput_ops_per_sec" {
+		t.Fatalf("hold filter kept %+v", f.Entries)
+	}
+	if len(f.OnlyOld) != len(d.OnlyOld) || len(f.OnlyNew) != len(d.OnlyNew) {
+		t.Fatalf("filter dropped drift lists")
+	}
+	if f := d.FilterWorkload("desim"); len(f.Entries) != 1 || f.Entries[0].Metric != "desim_events_per_sec" {
+		t.Fatalf("desim filter kept %+v", f.Entries)
+	}
+	if f := d.FilterWorkload("scalar"); len(f.Entries) != 2 {
+		t.Fatalf("scalar filter kept %d entries, want 2: %+v", len(f.Entries), f.Entries)
+	}
+	for _, w := range Workloads() {
+		if metricWorkload("nonesuch") == w {
+			t.Fatalf("unknown metric mapped to %q", w)
+		}
 	}
 }

@@ -178,6 +178,7 @@ func TestMergeRejectsDuplicateSchedulerResults(t *testing.T) {
 			Workers: 1, Prefill: 1, OpsPerWorker: 1, BatchSize: 1,
 			Results: []Result{{Scheduler: "smq", ThroughputOpsPerSec: 1, NsPerOp: 1,
 				BatchedThroughputOpsPerSec: 1, BatchedNsPerOp: 1,
+				HoldThroughputOpsPerSec: 1, HoldNsPerOp: 1,
 				PopP50Ns: 1, PopP99Ns: 2, PopP999Ns: 3}}}
 	}
 	if _, err := Merge([]*Report{mk(), mk()}); err == nil || !strings.Contains(err.Error(), "duplicate") {

@@ -57,11 +57,18 @@ import (
 //	    explicit: an unchecked run records throughput but makes no
 //	    safety claim, and the label must agree with the
 //	    rank_bound/lookahead fields it summarizes.
+//	7 — adds the decremental-hold microbenchmark facet
+//	    ("hold_throughput_ops_per_sec" / "hold_ns_per_op"): pop the
+//	    minimum, re-insert just above it — the below-head access
+//	    pattern SSSP/A*/delta-stepping relaxations generate, and the
+//	    worst case of the exact tiers. Also adds the
+//	    "eliminations"/"combines" counters captured from that run for
+//	    schedulers with an elimination/combining layer (CBPQ).
 //
-// Validate is version-gated: committed version-1 through version-5
-// trajectory files (BENCH_PR8.json and earlier) remain valid without
+// Validate is version-gated: committed version-1 through version-6
+// trajectory files (BENCH_PR9.json and earlier) remain valid without
 // the newer fields.
-const SchemaVersion = 6
+const SchemaVersion = 7
 
 // Report is the top-level JSON document.
 type Report struct {
@@ -262,6 +269,23 @@ type Result struct {
 	PopP50Ns  float64 `json:"pop_latency_p50_ns,omitempty"`
 	PopP99Ns  float64 `json:"pop_latency_p99_ns,omitempty"`
 	PopP999Ns float64 `json:"pop_latency_p999_ns,omitempty"`
+
+	// HoldThroughputOpsPerSec / HoldNsPerOp measure the decremental
+	// "hold" workload (schema >= 7): pop the minimum and re-insert just
+	// above the popped priority, so every push lands below the current
+	// head range. This is the access pattern SSSP/A*/delta-stepping
+	// relaxations generate and the structural worst case of the exact
+	// tiers — the facet the CBPQ elimination + combining layer exists
+	// for. Ops are pop→push pairs, as in the scalar pass.
+	HoldThroughputOpsPerSec float64 `json:"hold_throughput_ops_per_sec,omitempty"`
+	HoldNsPerOp             float64 `json:"hold_ns_per_op,omitempty"`
+
+	// Eliminations / Combines are the scheduler's own counters from the
+	// hold run (schema >= 7): pops served directly from an elimination
+	// layer, and inserts merged in bulk by a combining rebuild. Zero
+	// (omitted) for schedulers without such a layer.
+	Eliminations uint64 `json:"eliminations,omitempty"`
+	Combines     uint64 `json:"combines,omitempty"`
 }
 
 // Config parameterizes a perfbench run.
@@ -393,15 +417,26 @@ func mergeBest(best *Result, res Result) {
 	if res.ThroughputOpsPerSec > best.ThroughputOpsPerSec {
 		scalarBatched := best.BatchedThroughputOpsPerSec
 		scalarBatchedNs := best.BatchedNsPerOp
+		hold, holdNs := best.HoldThroughputOpsPerSec, best.HoldNsPerOp
+		elim, comb := best.Eliminations, best.Combines
 		p50, p99, p999 := best.PopP50Ns, best.PopP99Ns, best.PopP999Ns
 		*best = res
 		best.BatchedThroughputOpsPerSec = scalarBatched
 		best.BatchedNsPerOp = scalarBatchedNs
+		best.HoldThroughputOpsPerSec, best.HoldNsPerOp = hold, holdNs
+		best.Eliminations, best.Combines = elim, comb
 		best.PopP50Ns, best.PopP99Ns, best.PopP999Ns = p50, p99, p999
 	}
 	if res.BatchedThroughputOpsPerSec > best.BatchedThroughputOpsPerSec {
 		best.BatchedThroughputOpsPerSec = res.BatchedThroughputOpsPerSec
 		best.BatchedNsPerOp = res.BatchedNsPerOp
+	}
+	if res.HoldThroughputOpsPerSec > best.HoldThroughputOpsPerSec {
+		best.HoldThroughputOpsPerSec = res.HoldThroughputOpsPerSec
+		best.HoldNsPerOp = res.HoldNsPerOp
+		// The counters travel with the hold run they were observed in.
+		best.Eliminations = res.Eliminations
+		best.Combines = res.Combines
 	}
 	best.PopP50Ns = min(best.PopP50Ns, res.PopP50Ns)
 	best.PopP99Ns = min(best.PopP99Ns, res.PopP99Ns)
@@ -427,7 +462,53 @@ func runOne(name string, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	res.PopP50Ns, res.PopP99Ns, res.PopP999Ns = p50, p99, p999
+	hThr, hNs, elim, comb, err := runHold(name, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res.HoldThroughputOpsPerSec = hThr
+	res.HoldNsPerOp = hNs
+	res.Eliminations = elim
+	res.Combines = comb
 	return res, nil
+}
+
+// runHold measures the decremental hold workload: each worker pops a
+// minimum and re-inserts it at popped-priority + small uniform delta,
+// keeping the queue size stationary while the resident set drifts
+// upward — every push is below the head range of an exact scheduler.
+// A locally dry pop reseeds with a fresh uniform priority, as in the
+// scalar pass.
+func runHold(name string, cfg Config) (throughput, nsPerOp float64, eliminations, combines uint64, err error) {
+	s, err := prefilled(name, cfg)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.Worker(w)
+			rng := xrand.New(cfg.Seed + uint64(w)*0x9e3779b97f4a7c15)
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				p, v, ok := h.Pop()
+				if !ok {
+					h.Push(rng.Uint64()>>(64-prioBits), i)
+					continue
+				}
+				h.Push(p+rng.Uint64()%64, v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	totalOps := float64(cfg.Workers) * float64(cfg.OpsPerWorker)
+	st := s.Stats()
+	return totalOps / elapsed.Seconds(),
+		float64(elapsed.Nanoseconds()) / totalOps,
+		st.Eliminations, st.Combines, nil
 }
 
 // prefilled builds the named scheduler and prefills it sequentially
@@ -673,6 +754,13 @@ func Validate(r *Report) error {
 				return fmt.Errorf("perfbench: %s: non-monotone pop-latency percentiles (p50=%g p99=%g p99.9=%g)",
 					res.Scheduler, res.PopP50Ns, res.PopP99Ns, res.PopP999Ns)
 			}
+		}
+		if r.SchemaVersion >= 7 {
+			if res.HoldThroughputOpsPerSec <= 0 || res.HoldNsPerOp <= 0 {
+				return fmt.Errorf("perfbench: %s: non-positive hold throughput", res.Scheduler)
+			}
+		} else if res.Eliminations != 0 || res.Combines != 0 || res.HoldThroughputOpsPerSec != 0 {
+			return fmt.Errorf("perfbench: %s: hold-facet fields require schema >= 7, got %d", res.Scheduler, r.SchemaVersion)
 		}
 	}
 	seenServe := make(map[string]bool, len(r.Serve))

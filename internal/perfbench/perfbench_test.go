@@ -71,6 +71,7 @@ func TestValidateRejectsBadReports(t *testing.T) {
 		Results: []Result{{
 			Scheduler: "mq", ThroughputOpsPerSec: 1, NsPerOp: 1,
 			BatchedThroughputOpsPerSec: 2, BatchedNsPerOp: 0.5,
+			HoldThroughputOpsPerSec: 3, HoldNsPerOp: 0.4,
 			PopP50Ns: 100, PopP99Ns: 500, PopP999Ns: 900,
 		}},
 	}
@@ -78,6 +79,10 @@ func TestValidateRejectsBadReports(t *testing.T) {
 		t.Fatalf("baseline good report rejected: %v", err)
 	}
 	cases := map[string]func(r *Report){
+		"no hold mode": func(r *Report) { r.Results[0].HoldThroughputOpsPerSec = 0 },
+		"hold fields on old schema": func(r *Report) {
+			r.SchemaVersion = 6
+		},
 		"nil results":        func(r *Report) { r.Results = nil },
 		"bad version":        func(r *Report) { r.SchemaVersion = SchemaVersion + 1 },
 		"no go version":      func(r *Report) { r.GoVersion = "" },

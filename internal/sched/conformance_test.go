@@ -121,6 +121,15 @@ func conformanceSchedulers() []conformanceCase {
 			// Tiny chunks force constant freeze/split/rebuild races.
 			return cbpq.New[uint32](cbpq.Config{Workers: w, ChunkCap: 8})
 		}},
+		{"CBPQ/noelim", nil, func(w int) sched.Scheduler[uint32] {
+			// The pre-elimination baseline: every below-head insert goes
+			// through buf + combining rebuild (the default cases above
+			// cover the exchange layer at both chunk capacities).
+			return cbpq.New[uint32](cbpq.Config{Workers: w, DisableElimination: true})
+		}},
+		{"CBPQ/noelim-chunk8", nil, func(w int) sched.Scheduler[uint32] {
+			return cbpq.New[uint32](cbpq.Config{Workers: w, ChunkCap: 8, DisableElimination: true})
+		}},
 		{"EMQ/default", []string{"NewEngineeredMQ"}, func(w int) sched.Scheduler[uint32] {
 			return emq.New[uint32](emq.Config{Workers: w})
 		}},

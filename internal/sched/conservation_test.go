@@ -136,6 +136,113 @@ func TestConservationMixedBatch(t *testing.T) {
 	}
 }
 
+// conserveHold runs the decremental "hold" pattern over one scheduler
+// and checks conservation by totals: every worker seeds perWorker
+// tasks, then repeatedly pops a minimum and re-inserts it just above
+// the popped priority — the below-head re-insert every SSSP/A*-style
+// relaxation generates, and the pattern the CBPQ elimination layer
+// exists for. Re-pushed tasks are popped again, so conservation here is
+// total pushes == total pops after a Pending-driven drain (the per-task
+// exactly-once check lives in conserveMixed). A PopN/PushN round is
+// mixed in so the batch paths see the same pattern.
+func conserveHold(t *testing.T, s sched.Scheduler[uint32], workers, perWorker, rounds int) {
+	t.Helper()
+	var pushed, popped atomic.Int64
+	var pending sched.Pending
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			w := s.Worker(wid)
+			for i := 0; i < perWorker; i++ {
+				pending.Inc(1)
+				pushed.Add(1)
+				w.Push(uint64(1<<20+wid*perWorker+i), uint32(wid*perWorker+i))
+			}
+			dst := make([]sched.Task[uint32], 4)
+			ps := make([]uint64, 0, 4)
+			vs := make([]uint32, 0, 4)
+			var b sched.Backoff
+			for i := 0; i < rounds; i++ {
+				if i%8 == 7 {
+					n := w.PopN(dst)
+					if n == 0 {
+						b.Wait()
+						continue
+					}
+					popped.Add(int64(n))
+					for j := 0; j < n; j++ {
+						pending.Dec()
+					}
+					ps, vs = ps[:0], vs[:0]
+					for _, it := range dst[:n] {
+						ps = append(ps, it.P+uint64(it.V%64))
+						vs = append(vs, it.V)
+					}
+					pending.Inc(int64(n))
+					pushed.Add(int64(n))
+					w.PushN(ps, vs)
+					b.Reset()
+					continue
+				}
+				p, v, ok := w.Pop()
+				if !ok {
+					b.Wait()
+					continue
+				}
+				popped.Add(1)
+				pending.Dec()
+				pending.Inc(1)
+				pushed.Add(1)
+				w.Push(p+uint64(v%64), v)
+				b.Reset()
+			}
+			// Drain: a failed Pop is not termination for relaxed
+			// schedulers, so spin on Pending like the algorithms do.
+			for {
+				if _, _, ok := w.Pop(); ok {
+					popped.Add(1)
+					pending.Dec()
+					b.Reset()
+					continue
+				}
+				if pending.Done() {
+					return
+				}
+				b.Wait()
+			}
+		}(wid)
+	}
+	wg.Wait()
+
+	if pushed.Load() != popped.Load() {
+		t.Fatalf("hold conservation: pushed %d, popped %d", pushed.Load(), popped.Load())
+	}
+	st := s.Stats()
+	if st.Pushes != uint64(pushed.Load()) || st.Pops != uint64(popped.Load()) {
+		t.Fatalf("stats conservation: pushes=%d pops=%d, want %d/%d",
+			st.Pushes, st.Pops, pushed.Load(), popped.Load())
+	}
+}
+
+// TestConservationHold runs the hold pattern over every zoo
+// configuration at tier-1 sizes; the stress build soaks it (see
+// stress_test.go).
+func TestConservationHold(t *testing.T) {
+	workers := 4
+	perWorker, rounds := 500, 2000
+	if testing.Short() {
+		perWorker, rounds = 100, 400
+	}
+	for _, tc := range conformanceSchedulers() {
+		t.Run(tc.name, func(t *testing.T) {
+			conserveHold(t, tc.mk(workers), workers, perWorker, rounds)
+		})
+	}
+}
+
 // TestConservationOversubscribed reruns the mixed workload with more
 // worker goroutines than GOMAXPROCS, so workers are preempted inside
 // critical windows (between a slot reservation and its publication, or

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"repro/internal/contend"
 	"repro/internal/pq"
@@ -130,6 +131,17 @@ type Stats struct {
 	StealFails uint64 // steal attempts that found nothing to take
 	LockFails  uint64 // failed try-lock acquisitions (lock-based schedulers)
 	Remote     uint64 // queue accesses to a different (virtual) NUMA node
+
+	// Eliminations counts pops served directly from an elimination
+	// layer: a below-minimum insert and a concurrent pop met in an
+	// exchange slot and cancelled out without touching the structure
+	// (CBPQ's exchange array). Zero for schedulers without one.
+	Eliminations uint64
+	// Combines counts inserts that were merged into the structure in
+	// bulk by a single combining rebuild instead of one structural
+	// operation each (CBPQ's insertion buffer plus parked exchange
+	// entries). Zero for schedulers without a combining path.
+	Combines uint64
 }
 
 // Add accumulates other into s.
@@ -142,18 +154,21 @@ func (s *Stats) Add(other Stats) {
 	s.StealFails += other.StealFails
 	s.LockFails += other.LockFails
 	s.Remote += other.Remote
+	s.Eliminations += other.Eliminations
+	s.Combines += other.Combines
 }
 
 // Counters is the per-worker, unsynchronized statistics block. Workers
 // update their own Counters without atomics (each is owned by a single
-// goroutine); Stats() reads them after quiescence. A full trailing cache
-// line of padding separates adjacent workers' counters in the schedulers'
-// contiguous counter slices: every Push/Pop increments one of these
+// goroutine); Stats() reads them after quiescence. Trailing padding
+// rounds each block up to a whole number of cache lines plus one, so
+// adjacent workers' counters in the schedulers' contiguous counter
+// slices never share a line: every Push/Pop increments one of these
 // fields, and without the pad those increments would false-share —
 // exactly the layout cost the contend package exists to eliminate.
 type Counters struct {
 	Stats
-	_ [contend.CacheLineSize]byte
+	_ [2*contend.CacheLineSize - unsafe.Sizeof(Stats{})%contend.CacheLineSize]byte
 }
 
 // SumCounters aggregates a slice of per-worker counters.

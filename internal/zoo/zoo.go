@@ -120,6 +120,23 @@ func Lineup[T any]() []Spec[T] {
 			},
 			// Linearizable-exact like the coarse baseline, but
 			// non-blocking: the lock-free tier's rank bound is 0.
+			// The elimination + combining layer is on by default (it is
+			// part of what makes the tier usable), so this spec and
+			// cbpq-elim coincide; the layer's absence is what
+			// DisableElimination reconstructs for A/B runs.
+			Bound: func(int) (int64, bool) { return 0, true },
+		},
+		{
+			Name: "cbpq-elim", Params: "chunk=64 lock-free elim+combining", Constructor: "NewCBPQ",
+			Make: func(w int, _ uint64) sched.Scheduler[T] {
+				return cbpq.New[T](cbpq.Config{Workers: w})
+			},
+			// Names the layered configuration explicitly so experiment
+			// specs and benchcheck diffs can pin "CBPQ with the
+			// elimination + combining layer" even if the bare cbpq
+			// default ever changes. Elimination preserves exactness: an
+			// exchange take linearizes only after validating the head's
+			// publish counter, so the rank bound stays 0.
 			Bound: func(int) (int64, bool) { return 0, true },
 		},
 		{

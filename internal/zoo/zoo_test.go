@@ -66,12 +66,13 @@ func TestRankBounds(t *testing.T) {
 		want  int64
 		exact bool
 	}{
-		"coarse": {0, true},
-		"cbpq":   {0, true},
-		"klsm":   {3*256 + 4, true},
-		"obim":   {-1, false},
-		"pmod":   {-1, false},
-		"reld":   {-1, false},
+		"coarse":    {0, true},
+		"cbpq":      {0, true},
+		"cbpq-elim": {0, true},
+		"klsm":      {3*256 + 4, true},
+		"obim":      {-1, false},
+		"pmod":      {-1, false},
+		"reld":      {-1, false},
 	}
 	for _, spec := range Lineup[int]() {
 		b, exact := spec.RankBound(w)

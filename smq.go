@@ -193,28 +193,60 @@
 // (rank bound 0, like the coarse baseline and the strict k-LSM).
 //
 // The shape of the structure is a short chain of fixed-capacity chunks
-// partitioned by priority range: a sorted first chunk consumed by a
-// fetch-and-add on its delete index (pop takes no lock and retries no
-// CAS on the hot path), interior chunks accepting inserts via a
-// count-word CAS, and an insertion buffer for priorities that belong
-// in the first chunk's range. A full or contended chunk is never
-// mutated in place: it is frozen (one atomic Or, after which its
-// membership is immutable), replacement chunks are built privately,
-// and a single root CAS publishes the new structure — split for a full
-// interior chunk, first-chunk rebuild for a drained head or a buffered
+// partitioned by priority range: a sorted first chunk consumed through
+// a packed index word (one CAS claims the next sorted slot — the word
+// also carries the freeze bit and a publish counter, so a successful
+// claim proves the head it read is still the live head), interior
+// chunks accepting inserts via a count-word CAS, and an insertion
+// buffer for priorities that belong in the first chunk's range. A full
+// or contended chunk is never mutated in place: it is frozen (one
+// atomic Or on that same word, after which its membership is
+// immutable), replacement chunks are built privately, and a single
+// root CAS publishes the new structure — split for a full interior
+// chunk, first-chunk rebuild for a drained head or a buffered
 // small-priority insert. Any thread can help complete a frozen
 // structure's replacement, which is what makes the design lock-free.
 //
 // Bulk operations have chunk-granular meaning without a lock to batch
-// under: PopN claims n consecutive sorted slots with ONE fetch-and-add
-// on the delete index, and PushN sorts its batch once and publishes
-// each same-chunk run with ONE count-word CAS — the reservation is the
+// under: PopN claims n consecutive sorted slots with ONE CAS on the
+// head's index word, and PushN sorts its batch once and publishes each
+// same-chunk run with ONE count-word CAS — the reservation is the
 // atomic, the element copies are plain stores behind per-slot ready
 // flags. The trade-off relative to the lock-based tier is allocation
 // and the decremental-key worst case: published chunks cannot be
 // pooled without epoch reclamation, and an insert below the first
 // chunk's range forces a first-chunk rebuild (see internal/cbpq's
 // package documentation and alloc gates for the amortized bounds).
+//
+// # Elimination and combining
+//
+// Decremental workloads (Dijkstra/SSSP relaxations, the hold pattern:
+// pop the minimum, push it back slightly above the old head) hammer
+// exactly that worst case — nearly every push lands below the first
+// chunk's range. The CBPQ therefore fronts its head with an
+// elimination layer in the Hendler–Shavit style, preserving the exact
+// rank bound. A below-head push first publishes its (priority, value)
+// pair in a padded per-queue exchange slot as a single immutable
+// entry, bumping the head's publish counter; a concurrent pop that
+// observes a pending entry at or below the head's minimum takes it
+// directly from the slot. Both sides linearize at the exchange CAS —
+// the pair meets in the slot, never touching chunk memory, so the pop
+// is exact by construction (the taken entry's priority is <= every
+// priority still in the head) and no rebuild happens at all.
+// Publishes that find no timely partner are not retried per-slot:
+// the parked entries form a bounded pending set (overflow beyond the
+// exchange linearizes immediately into the insertion buffer through
+// the same publish counter, deferring any structural work until an
+// entry actually blocks a pop), one thread elects itself combiner via
+// the ordinary root CAS, and a single freeze -> merge -> republish
+// rebuild absorbs the entire set plus the insertion buffer at once —
+// n pushes, one allocation burst, one
+// publication. Consistent emptiness still holds: a Pop may report
+// empty only after proving the exchange layer was drained while the
+// head it inspected was live. Stats().Eliminations and
+// Stats().Combines count the two paths; CBPQConfig.DisableElimination
+// turns the layer off for A/B measurement (the zoo's "cbpq-elim" spec
+// names the default-on configuration).
 //
 // # Running experiments
 //
@@ -310,7 +342,8 @@ const KLSMStrict = klsm.Strict
 type OBIMConfig = obim.Config
 
 // CBPQConfig configures the lock-free chunk-based priority queue
-// (fixed chunk capacity; see the Lock-free tier section above).
+// (fixed chunk capacity, elimination layer switch; see the Lock-free
+// tier and Elimination and combining sections above).
 type CBPQConfig = cbpq.Config
 
 // SprayConfig configures the SprayList baseline.
@@ -391,11 +424,13 @@ func NewSprayList[T any](cfg SprayConfig) Scheduler[T] {
 
 // NewCBPQ builds the lock-free chunk-based priority queue of
 // Braginsky, Cohen and Petrank (Euro-Par 2016): fixed-capacity chunks
-// partitioned by priority range, a sorted first chunk consumed by
-// fetch-and-add, CAS-published inserts with a freeze/split protocol,
-// and chunk-granular lock-free PushN/PopN fast paths. Exact (rank
-// bound 0) and non-blocking; see the package documentation's Lock-free
-// tier section.
+// partitioned by priority range, a sorted first chunk consumed through
+// a packed CAS-claimed index word, CAS-published inserts with a
+// freeze/split protocol, chunk-granular lock-free PushN/PopN fast
+// paths, and an elimination + combining front end for below-head
+// inserts. Exact (rank bound 0) and non-blocking; see the package
+// documentation's Lock-free tier and Elimination and combining
+// sections.
 func NewCBPQ[T any](cfg CBPQConfig) Scheduler[T] {
 	return cbpq.New[T](cfg)
 }
